@@ -1,0 +1,168 @@
+// Benchmarks: one per table and figure of the paper's evaluation, backed
+// by the same harness as cmd/cyclops-bench (at Small scale so `go test
+// -bench` finishes quickly; run `cyclops-bench -all -scale full` for the
+// paper-sized sweeps), plus micro-benchmarks of the simulator engines.
+package cyclops_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cyclops"
+	"cyclops/experiments"
+)
+
+// benchExperiment wires a harness experiment to a testing.B.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(id, experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1_InterestGroups(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2_SimulationParameters(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig3_SplashSpeedups(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig4a_StreamSingleThread(b *testing.B)    { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b_StreamIndependent(b *testing.B)     { benchExperiment(b, "fig4b") }
+func BenchmarkFig5a_Blocked(b *testing.B)               { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b_Cyclic(b *testing.B)                { benchExperiment(b, "fig5b") }
+func BenchmarkFig5c_LocalCaches(b *testing.B)           { benchExperiment(b, "fig5c") }
+func BenchmarkFig5d_Unrolled(b *testing.B)              { benchExperiment(b, "fig5d") }
+func BenchmarkFig6a_ThreadSweep(b *testing.B)           { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b_OriginReference(b *testing.B)       { benchExperiment(b, "fig6b") }
+func BenchmarkFig7a_Barriers256(b *testing.B)           { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b_Barriers64K(b *testing.B)           { benchExperiment(b, "fig7b") }
+func BenchmarkBarrierLatency(b *testing.B)              { benchExperiment(b, "microbarrier") }
+func BenchmarkAppsExtension(b *testing.B)               { benchExperiment(b, "apps") }
+func BenchmarkFaultExtension(b *testing.B)              { benchExperiment(b, "fault") }
+func BenchmarkMeshExtension(b *testing.B)               { benchExperiment(b, "mesh") }
+
+// BenchmarkStreamTriadBandwidth reports the simulated bandwidth of the
+// paper's best STREAM configuration as a custom metric.
+func BenchmarkStreamTriadBandwidth(b *testing.B) {
+	var gbps float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunStream(experiments.StreamParams{
+			Kernel: experiments.Triad, Threads: 126, N: 126 * 1000,
+			Local: true, Unroll: 4, Reps: 2,
+		}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gbps = r.GBps()
+	}
+	b.ReportMetric(gbps, "simGB/s")
+}
+
+// BenchmarkSimInstructionRate measures how fast the instruction-level
+// simulator executes (host MIPS), using a tight arithmetic loop.
+func BenchmarkSimInstructionRate(b *testing.B) {
+	src := `
+	li   r8, 200000
+loop:	addi r8, r8, -1
+	add  r9, r9, r8
+	xor  r10, r9, r8
+	bne  r8, r0, loop
+	halt
+	`
+	prog, err := cyclops.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := cyclops.NewSystem(cyclops.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Boot(prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range sys.Stats() {
+			insts += st.Insts
+		}
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "simMIPS")
+}
+
+// BenchmarkTimingEngineOps measures the direct-execution engine's
+// operation throughput across 32 contending threads.
+func BenchmarkTimingEngineOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := cyclops.NewTimingMachine(cyclops.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ea := m.SharedAlloc(1 << 16)
+		m.SpawnN(32, func(t *cyclops.Thread, idx int) {
+			for k := 0; k < 500; k++ {
+				v := t.LoadF64(ea + uint32(8*((idx*500+k)%8000)))
+				w := t.FMA(v)
+				t.StoreF64(ea+uint32(8*idx), w)
+			}
+		})
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*32*500*3/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkAssembler measures assembly throughput on a generated program.
+func BenchmarkAssembler(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("_start:\n")
+	for i := 0; i < 2000; i++ {
+		// Each block branches to its own label so offsets stay in range.
+		fmt.Fprintf(&sb, "l%d:\tadd r8, r9, r10\n\tlw r11, 16(r1)\n\tbne r11, r0, l%d\n", i, i)
+	}
+	sb.WriteString("\thalt\n")
+	src := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cyclops.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(src)))
+}
+
+// BenchmarkHWvsSWBarrier reports the per-barrier latency difference that
+// motivates the hardware (Section 3.3), as custom metrics.
+func BenchmarkHWvsSWBarrier(b *testing.B) {
+	var hw, sw float64
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run("microbarrier", experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		hw = atofOr(last[1])
+		sw = atofOr(last[2])
+	}
+	b.ReportMetric(hw, "hwCycles")
+	b.ReportMetric(sw, "swCycles")
+}
+
+func atofOr(s string) float64 {
+	var v float64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + float64(c-'0')
+	}
+	return v
+}

@@ -1,0 +1,77 @@
+// Command cyclops-asm assembles Cyclops assembly into an image file, or
+// disassembles an existing image.
+//
+// Usage:
+//
+//	cyclops-asm [-o prog.cyc] [-sym prog.sym] prog.s
+//	cyclops-asm -d prog.cyc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cyclops/internal/asm"
+	"cyclops/internal/image"
+)
+
+func main() {
+	out := flag.String("o", "", "output image file (default: input with .cyc)")
+	symOut := flag.String("sym", "", "also write a symbol listing to this file")
+	disasm := flag.Bool("d", false, "disassemble an image file instead of assembling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cyclops-asm [-o out.cyc] [-sym out.sym] prog.s | cyclops-asm -d prog.cyc")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	if err := run(in, *out, *symOut, *disasm); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, symOut string, disasm bool) error {
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	if disasm {
+		prog, err := image.Decode(data)
+		if err != nil {
+			return err
+		}
+		fmt.Print(asm.Disassemble(prog))
+		return nil
+	}
+	prog, err := asm.Assemble(string(data))
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = strings.TrimSuffix(in, ".s") + ".cyc"
+	}
+	if err := os.WriteFile(out, image.Encode(prog), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes at %#x, entry %#x, %d symbols\n",
+		out, len(prog.Bytes), prog.Origin, prog.Entry, len(prog.Symbols))
+	if symOut != "" {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+		var sb strings.Builder
+		for _, n := range names {
+			fmt.Fprintf(&sb, "%08x %s\n", prog.Symbols[n], n)
+		}
+		if err := os.WriteFile(symOut, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAssembleAndDisassemble(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.s")
+	out := filepath.Join(dir, "prog.cyc")
+	sym := filepath.Join(dir, "prog.sym")
+	if err := os.WriteFile(src, []byte("_start:\tadd r3, r4, r5\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(src, out, sym, false); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(out)
+	if err != nil || len(img) < 16 {
+		t.Fatalf("image: %v (%d bytes)", err, len(img))
+	}
+	syms, err := os.ReadFile(sym)
+	if err != nil || !strings.Contains(string(syms), "_start") {
+		t.Fatalf("symbols: %v %q", err, syms)
+	}
+	// Disassembly path parses the image.
+	if err := run(out, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.s")
+	os.WriteFile(src, []byte("frobnicate r1\n"), 0o644)
+	if err := run(src, filepath.Join(dir, "o.cyc"), "", false); err == nil {
+		t.Error("bad source assembled")
+	}
+	if err := run(filepath.Join(dir, "missing.s"), "", "", false); err == nil {
+		t.Error("missing input accepted")
+	}
+	os.WriteFile(src, []byte("not an image"), 0o644)
+	if err := run(src, "", "", true); err == nil {
+		t.Error("garbage disassembled")
+	}
+}

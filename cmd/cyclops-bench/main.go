@@ -1,0 +1,76 @@
+// Command cyclops-bench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	cyclops-bench -list
+//	cyclops-bench -run fig4a,fig7a [-scale full] [-csv outdir]
+//	cyclops-bench -all -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cyclops/internal/harness"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	runIDs := flag.String("run", "", "comma-separated experiment ids")
+	all := flag.Bool("all", false, "run every experiment")
+	scaleStr := flag.String("scale", "small", "experiment scale: small | full (paper parameters)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-13s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+	scale, err := harness.ParseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *runIDs != "":
+		ids = strings.Split(*runIDs, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cyclops-bench -list | -run id[,id...] | -all  [-scale small|full] [-csv dir]")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		e, ok := harness.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+		}
+		tab, err := e.Run(scale)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		tab.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cyclops-bench:", err)
+	os.Exit(1)
+}

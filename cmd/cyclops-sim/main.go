@@ -1,0 +1,91 @@
+// Command cyclops-sim runs a Cyclops program on the simulated chip under
+// the resident kernel and reports console output and execution statistics.
+//
+// Usage:
+//
+//	cyclops-sim [-max N] [-balanced] [-stats] prog.s
+//	cyclops-sim prog.cyc
+//
+// Assembly sources (any extension but .cyc) are assembled on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/asm"
+	"cyclops/internal/core"
+	"cyclops/internal/image"
+	"cyclops/internal/kernel"
+	"cyclops/internal/sim"
+)
+
+func main() {
+	maxCycles := flag.Uint64("max", 1_000_000_000, "cycle limit (0 = none)")
+	balanced := flag.Bool("balanced", false, "use the balanced thread allocation policy")
+	stats := flag.Bool("stats", false, "print per-thread and chip statistics")
+	trace := flag.Int("trace", 0, "dump the last N issued instructions after the run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-max N] [-balanced] [-stats] [-trace N] prog.{s,cyc}")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *maxCycles, *balanced, *stats, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, maxCycles uint64, balanced, stats bool, trace int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prog *asm.Program
+	if strings.HasSuffix(path, ".cyc") {
+		prog, err = image.Decode(data)
+	} else {
+		prog, err = asm.Assemble(string(data))
+	}
+	if err != nil {
+		return err
+	}
+	chip := core.MustNew(arch.Default())
+	k := kernel.New(chip)
+	if balanced {
+		k.Policy = kernel.Balanced
+	}
+	k.Machine().MaxCycles = maxCycles
+	if trace > 0 {
+		k.Machine().Trace = sim.NewTraceBuffer(trace)
+	}
+	if err := k.Boot(prog); err != nil {
+		return err
+	}
+	runErr := k.Run()
+	os.Stdout.Write(k.Output)
+	if trace > 0 {
+		fmt.Print(k.Machine().Trace.Dump())
+	}
+	fmt.Printf("\n[%d cycles, %d instructions, %.3f ms at 500 MHz]\n",
+		k.Machine().Cycle(), k.Machine().TotalInsts(),
+		float64(k.Machine().Cycle())/arch.ClockHz*1e3)
+	if stats {
+		printStats(k.Machine(), chip)
+	}
+	return runErr
+}
+
+func printStats(m *sim.Machine, chip *core.Chip) {
+	fmt.Println("thread  quad     insts       run     stall")
+	for _, tu := range m.TUs {
+		if tu.Insts == 0 {
+			continue
+		}
+		fmt.Printf("%6d  %4d  %8d  %8d  %8d\n", tu.ID, tu.Quad, tu.Insts, tu.RunCycles, tu.StallCycles)
+	}
+	fmt.Print(chip.Utilization(m.Cycle()))
+}

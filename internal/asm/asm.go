@@ -1,0 +1,234 @@
+// Package asm implements a two-pass assembler for the Cyclops ISA.
+//
+// The source language is a conventional RISC assembly dialect:
+//
+//	; STREAM copy inner loop
+//	        .equ  N, 2048
+//	        .org  0x100
+//	_start: la    r8, src          ; pseudo: lui+ori
+//	        li    r9, N
+//	loop:   ld    d16, 0(r8)
+//	        sd    d16, 0x2000(r8)
+//	        addi  r8, r8, 8
+//	        addi  r9, r9, -1
+//	        bne   r9, r0, loop
+//	        halt
+//	src:    .space N*8
+//
+// Registers are r0..r63 (aliases: zero, sp, lr, a0..a3). Double-precision
+// operands use dN, an alias for the even register N of an (N, N+1) pair.
+// Branch and jump targets are expressions evaluating to absolute byte
+// addresses; the assembler converts them to word-relative offsets.
+//
+// Directives: .org .align .space .byte .half .word .double .ascii .asciz
+// .equ. Pseudo-instructions: nop, mov, li, la, not, neg, b, j, call, ret,
+// bgt, ble, bgtu, bleu.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is an assembled memory image.
+type Program struct {
+	// Origin is the load address of Bytes[0].
+	Origin uint32
+	// Bytes is the image, little-endian words.
+	Bytes []byte
+	// Entry is the initial program counter: the _start symbol when
+	// defined, the origin otherwise.
+	Entry uint32
+	// Symbols maps every defined label and .equ name to its value.
+	Symbols map[string]uint32
+}
+
+// Word returns the 32-bit word at byte address addr, which must be inside
+// the image and aligned.
+func (p *Program) Word(addr uint32) uint32 {
+	off := addr - p.Origin
+	b := p.Bytes[off : off+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList collects every diagnostic of a failed assembly.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// Assemble translates source text into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: make(map[string]uint32)}
+	a.parse(src)
+	if len(a.errs) == 0 {
+		a.layout()
+	}
+	if len(a.errs) == 0 {
+		a.emit()
+	}
+	if len(a.errs) > 0 {
+		sort.Slice(a.errs, func(i, j int) bool { return a.errs[i].Line < a.errs[j].Line })
+		return nil, a.errs
+	}
+	entry := a.origin
+	if e, ok := a.symbols["_start"]; ok {
+		entry = e
+	}
+	return &Program{Origin: a.origin, Bytes: a.image, Entry: entry, Symbols: a.symbols}, nil
+}
+
+// stKind discriminates parsed statements.
+type stKind uint8
+
+const (
+	stInst stKind = iota
+	stDirective
+)
+
+// statement is one parsed source statement (labels are applied during
+// parsing and do not become statements).
+type statement struct {
+	line int
+	kind stKind
+
+	// Instructions.
+	mnemonic string
+	operands []string
+
+	// Directives.
+	directive string
+	args      []string
+
+	// Layout results.
+	addr uint32
+	size uint32
+}
+
+type assembler struct {
+	stmts   []statement
+	symbols map[string]uint32
+	equs    map[string]bool // names defined by .equ (not addresses)
+	errs    ErrorList
+
+	origin    uint32
+	originSet bool
+	image     []byte
+}
+
+func (a *assembler) errorf(line int, format string, args ...interface{}) {
+	a.errs = append(a.errs, Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// parse splits the source into statements and records label positions
+// symbolically (their values are assigned during layout).
+func (a *assembler) parse(src string) {
+	a.equs = make(map[string]bool)
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := raw
+		if j := strings.IndexAny(text, ";#"); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		// Peel off any leading labels.
+		for {
+			j := strings.Index(text, ":")
+			if j < 0 {
+				break
+			}
+			name := strings.TrimSpace(text[:j])
+			if !isIdent(name) {
+				break
+			}
+			a.stmts = append(a.stmts, statement{line: line, kind: stDirective, directive: ".label", args: []string{name}})
+			text = strings.TrimSpace(text[j+1:])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.SplitN(text, " ", 2)
+		head := strings.ToLower(fields[0])
+		rest := ""
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		if strings.HasPrefix(head, ".") {
+			a.stmts = append(a.stmts, statement{
+				line: line, kind: stDirective, directive: head, args: splitOperands(rest),
+			})
+			continue
+		}
+		a.stmts = append(a.stmts, statement{
+			line: line, kind: stInst, mnemonic: head, operands: splitOperands(rest),
+		})
+	}
+}
+
+// splitOperands splits on commas that are outside parentheses and quotes.
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.':
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

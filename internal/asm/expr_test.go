@@ -1,0 +1,101 @@
+package asm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func evalOK(t *testing.T, expr string, want int64) {
+	t.Helper()
+	got, err := evalExpr(expr, map[string]uint32{"sym": 100, "a.b_c": 7})
+	if err != nil {
+		t.Fatalf("%q: %v", expr, err)
+	}
+	if got != want {
+		t.Errorf("%q = %d, want %d", expr, got, want)
+	}
+}
+
+func TestExpressionGrammar(t *testing.T) {
+	evalOK(t, "1+2*3", 7)
+	evalOK(t, "(1+2)*3", 9)
+	evalOK(t, "-4", -4)
+	evalOK(t, "+4", 4)
+	evalOK(t, "~0", -1)
+	evalOK(t, "10 % 4", 2)
+	evalOK(t, "1 << 4 | 3", 19)
+	evalOK(t, "0xff & 0x0f", 15)
+	evalOK(t, "6 ^ 3", 5)
+	evalOK(t, "256 >> 4", 16)
+	evalOK(t, "sym*2", 200)
+	evalOK(t, "a.b_c + 1", 8)
+	evalOK(t, "0b1010", 10)
+	evalOK(t, "0o17", 15)
+	evalOK(t, "0xffffffff", 0xffffffff)
+	evalOK(t, "'A'", 65)
+	evalOK(t, `'\n'`, 10)
+	evalOK(t, `'\t'`, 9)
+	evalOK(t, `'\r'`, 13)
+	evalOK(t, `'\0'`, 0)
+	evalOK(t, `'\\'`, 92)
+	evalOK(t, `'\''`, 39)
+	evalOK(t, "- - 5", 5)
+}
+
+func TestExpressionErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "1)", "1/0", "1%0", "nosuch", "1 @ 2",
+		"'ab'", `'\q'`, "'", "< 3", "1 <", "0x", "2y3",
+	}
+	for _, e := range bad {
+		if _, err := evalExpr(e, nil); err == nil {
+			t.Errorf("%q evaluated without error", e)
+		}
+	}
+}
+
+func TestShiftAmountsMasked(t *testing.T) {
+	evalOK(t, "1 << 64", 1) // shifts mask to 6 bits like hardware
+}
+
+// Property: precedence matches Go for a sampled operator set.
+func TestExpressionMatchesGo(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		x, y, z := int64(a%1000), int64(b%1000)+1, int64(c%1000)+1
+		expr := fmt.Sprintf("%d + %d * %d - %d / %d", x, y, z, x, y)
+		got, err := evalExpr(expr, nil)
+		return err == nil && got == x+y*z-x/y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	b, err := unescapeString(`"a\t\"b\\\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "a\t\"b\\\n" {
+		t.Errorf("unescaped = %q", b)
+	}
+	for _, bad := range []string{`"unterminated`, `noquotes`, `"trail\"`, `"bad\q"`} {
+		if _, err := unescapeString(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestIsIdent(t *testing.T) {
+	for _, ok := range []string{"a", "_x", ".L1", "a1_b.c", "Z9"} {
+		if !isIdent(ok) {
+			t.Errorf("%q rejected", ok)
+		}
+	}
+	for _, bad := range []string{"", "1a", "a-b", "a b", "a+", "é"} {
+		if isIdent(bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

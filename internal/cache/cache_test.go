@@ -1,0 +1,421 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/mem"
+)
+
+func hits(d *DCache, addr uint32) bool {
+	h, _ := d.Lookup(addr)
+	return h
+}
+
+func TestDCacheHitMiss(t *testing.T) {
+	d := NewDCache(arch.Default())
+	if hits(d, 0x1000) {
+		t.Fatal("cold cache hit")
+	}
+	d.Install(0x1000, 0)
+	if !hits(d, 0x1000) {
+		t.Fatal("miss after install")
+	}
+	// Same line, different offset.
+	if !hits(d, 0x103f) {
+		t.Fatal("same-line offset missed")
+	}
+	// Next line misses.
+	if hits(d, 0x1040) {
+		t.Fatal("adjacent line hit")
+	}
+	if d.Hits != 2 || d.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", d.Hits, d.Misses)
+	}
+}
+
+func TestDCacheLRUEviction(t *testing.T) {
+	cfg := arch.Default() // 16 KB, 8-way, 64 B lines -> 32 sets
+	d := NewDCache(cfg)
+	sets := uint32(cfg.DCacheBytes / cfg.DCacheLine / cfg.DCacheAssoc)
+	stride := sets * uint32(cfg.DCacheLine) // same set each time
+	// Fill all 8 ways of set 0.
+	for i := uint32(0); i < 8; i++ {
+		d.Install(i*stride, 0)
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	hits(d, 0)
+	d.Install(8*stride, 0) // evicts line 1
+	if !hits(d, 0) {
+		t.Error("recently used line evicted")
+	}
+	if hits(d, 1*stride) {
+		t.Error("LRU line survived")
+	}
+	if !hits(d, 8*stride) {
+		t.Error("new line not installed")
+	}
+}
+
+func TestDCacheScratchWays(t *testing.T) {
+	d := NewDCache(arch.Default())
+	if !d.SetScratchWays(4) {
+		t.Fatal("SetScratchWays(4) rejected")
+	}
+	if d.SetScratchWays(8) || d.SetScratchWays(-1) {
+		t.Error("invalid scratch partitioning accepted")
+	}
+	if d.ScratchWays() != 4 {
+		t.Errorf("ScratchWays = %d", d.ScratchWays())
+	}
+	// Caching still works with the remaining ways.
+	d.Install(0x2000, 0)
+	if !hits(d, 0x2000) {
+		t.Error("half-partitioned cache lost a line")
+	}
+	// Capacity is halved: 5 conflicting lines in a 4-way region evict.
+	cfg := arch.Default()
+	sets := uint32(cfg.DCacheBytes / cfg.DCacheLine / cfg.DCacheAssoc)
+	stride := sets * uint32(cfg.DCacheLine)
+	for i := uint32(0); i < 5; i++ {
+		d.Install(0x100000+i*stride, 0)
+	}
+	live := 0
+	for i := uint32(0); i < 5; i++ {
+		if hits(d, 0x100000+i*stride) {
+			live++
+		}
+	}
+	if live != 4 {
+		t.Errorf("%d of 5 lines live in a 4-way partition, want 4", live)
+	}
+}
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := arch.Default()
+	return NewSystem(cfg, mem.New(cfg))
+}
+
+// ea builds an effective address with the chip-wide shared interest group.
+func eaAll(phys uint32) uint32 {
+	return arch.EA(arch.InterestGroup{Mode: arch.GroupAll}, phys)
+}
+
+func eaOwn(phys uint32) uint32 {
+	return arch.EA(arch.InterestGroup{Mode: arch.GroupOwn}, phys)
+}
+
+func eaOne(c int, phys uint32) uint32 {
+	return arch.EA(arch.InterestGroup{Mode: arch.GroupOne, Sel: uint8(c)}, phys)
+}
+
+func TestTable2LoadLatencies(t *testing.T) {
+	s := newSystem(t)
+	own := 5
+
+	// Local miss: unloaded latency 24 beyond the port cycle.
+	a := s.Load(0, eaOne(own, 0x4000), 8, own)
+	if a.Where != LocalMiss || a.Done != 0+24 {
+		t.Errorf("local miss = %+v, want done 24", a)
+	}
+	// Local hit: 6.
+	a = s.Load(100, eaOne(own, 0x4000), 8, own)
+	if a.Where != LocalHit || a.Done != 100+6 {
+		t.Errorf("local hit = %+v, want done 106", a)
+	}
+	// Remote miss: 36.
+	a = s.Load(200, eaOne(9, 0x8000), 8, own)
+	if a.Where != RemoteMiss || a.Done != 200+36 {
+		t.Errorf("remote miss = %+v, want done 236", a)
+	}
+	// Remote hit: 17.
+	a = s.Load(300, eaOne(9, 0x8000), 8, own)
+	if a.Where != RemoteHit || a.Done != 300+17 {
+		t.Errorf("remote hit = %+v, want done 317", a)
+	}
+}
+
+func TestBankQueueingAddsToMissLatency(t *testing.T) {
+	s := newSystem(t)
+	// Two threads miss different lines in the same bank at once: the
+	// second fill queues 12 cycles behind the first.
+	a1 := s.Load(0, eaOne(0, 0x0000), 8, 0)
+	a2 := s.Load(0, eaOne(1, 0x0000+17*64), 8, 1) // same bank (hash), different cache
+	if a1.Done != 24 {
+		t.Errorf("first miss done %d, want 24", a1.Done)
+	}
+	if a2.Done != 24+12 {
+		t.Errorf("queued miss done %d, want 36 (24 + one burst)", a2.Done)
+	}
+}
+
+func TestPortContentionSerialisesAccesses(t *testing.T) {
+	s := newSystem(t)
+	s.Caches[3].Install(0x7000, 0)
+	// Four threads hit the same cache in the same cycle: the single
+	// 8 B/cycle port serialises them.
+	var dones []uint64
+	for i := 0; i < 4; i++ {
+		a := s.Load(50, eaOne(3, 0x7000), 8, 3)
+		dones = append(dones, a.Done)
+	}
+	for i, d := range dones {
+		want := uint64(50+i) + 6
+		if d != want {
+			t.Errorf("access %d done %d, want %d", i, d, want)
+		}
+	}
+}
+
+func TestStoreRetiresInOnePortCycle(t *testing.T) {
+	s := newSystem(t)
+	a := s.Store(10, eaAll(0x9000), 8, 0)
+	if a.Where != StoreThrough || a.Done != 11 {
+		t.Errorf("store = %+v, want done 11", a)
+	}
+	// Stores do not allocate: a following load misses.
+	if l := s.Load(20, eaAll(0x9000), 8, 0); l.Where != LocalMiss && l.Where != RemoteMiss {
+		t.Errorf("load after store = %v, want a miss (no write-allocate)", l.Where)
+	}
+}
+
+func TestStoreTrafficLimitsFills(t *testing.T) {
+	s := newSystem(t)
+	// 32 bytes of stores to bank 0 occupy it for half a burst; a fill
+	// to the same bank then waits.
+	for i := uint32(0); i < 4; i++ {
+		s.Store(0, eaOne(int(i&1), i*8), 8, 0)
+	}
+	a := s.Load(0, eaOne(5, 0), 8, 5)
+	if a.Done <= 24 {
+		t.Errorf("fill ignored store traffic: done %d", a.Done)
+	}
+}
+
+func TestOwnModeIsAlwaysLocal(t *testing.T) {
+	s := newSystem(t)
+	for own := 0; own < 32; own++ {
+		a := s.Load(0, eaOwn(0x5000), 8, own)
+		if a.Cache != own {
+			t.Fatalf("own-mode access from quad %d served by cache %d", own, a.Cache)
+		}
+	}
+	// All 32 caches now replicate the line (interest group zero).
+	for own := 0; own < 32; own++ {
+		a := s.Load(1000, eaOwn(0x5000), 8, own)
+		if a.Where != LocalHit {
+			t.Fatalf("replicated line: quad %d got %v", own, a.Where)
+		}
+	}
+}
+
+func TestSharedModeMapsUniquely(t *testing.T) {
+	s := newSystem(t)
+	// Under the chip-wide group an address has exactly one home cache,
+	// no matter who accesses it — no coherence problem (Section 2.1).
+	f := func(phys uint32, t1, t2 uint8) bool {
+		phys &= arch.PhysAddrMask
+		a := s.CacheFor(eaAll(phys), int(t1%32))
+		b := s.CacheFor(eaAll(phys), int(t2%32))
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomicHoldsPortAndReturnsOldValuePath(t *testing.T) {
+	s := newSystem(t)
+	s.Caches[0].Install(0, 0)
+	a := s.Atomic(0, eaOne(0, 0), 4, 0)
+	if a.Done != 0+6+1 {
+		t.Errorf("atomic done %d, want 7 (hit latency + store cycle)", a.Done)
+	}
+	// Port was held for both halves.
+	if s.PortBusy(0) < 2 {
+		t.Errorf("atomic held port for %d cycles, want >= 2", s.PortBusy(0))
+	}
+}
+
+func TestDisableQuadRedirects(t *testing.T) {
+	s := newSystem(t)
+	if !s.DisableQuad(7) {
+		t.Fatal("DisableQuad(7) failed")
+	}
+	if s.DisableQuad(7) {
+		t.Error("double disable accepted")
+	}
+	if s.DisableQuad(-1) || s.DisableQuad(32) {
+		t.Error("invalid quad accepted")
+	}
+	a := s.Load(0, eaOne(7, 0x3000), 8, 0)
+	if a.Cache == 7 {
+		t.Error("access served by disabled quad")
+	}
+	if a.Cache != 8 {
+		t.Errorf("redirected to cache %d, want next live quad 8", a.Cache)
+	}
+}
+
+func TestSystemReset(t *testing.T) {
+	s := newSystem(t)
+	s.Load(0, eaAll(0x1000), 8, 0)
+	s.Reset()
+	if s.Counts[LocalMiss]+s.Counts[RemoteMiss] != 0 {
+		t.Error("Reset kept access counts")
+	}
+	a := s.Load(0, eaAll(0x1000), 8, 0)
+	if a.Where != LocalMiss && a.Where != RemoteMiss {
+		t.Error("Reset kept cache contents")
+	}
+}
+
+func TestICacheFetch(t *testing.T) {
+	cfg := arch.Default()
+	ic := NewICache(cfg)
+	if ic.Fetch(0x100) {
+		t.Fatal("cold I-cache hit")
+	}
+	if !ic.Fetch(0x104) {
+		t.Fatal("same-line fetch missed (32-byte lines)")
+	}
+	if ic.Fetch(0x120) {
+		t.Fatal("next line hit")
+	}
+	if ic.Hits != 1 || ic.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d", ic.Hits, ic.Misses)
+	}
+}
+
+func TestICacheEvictsLRU(t *testing.T) {
+	cfg := arch.Default() // 32 KB, 8-way, 32 B lines -> 128 sets
+	ic := NewICache(cfg)
+	sets := uint32(cfg.ICacheBytes / cfg.ICacheLine / cfg.ICacheAssoc)
+	stride := sets * uint32(cfg.ICacheLine)
+	for i := uint32(0); i < 9; i++ {
+		ic.Fetch(i * stride)
+	}
+	if ic.Fetch(0) { // line 0 was LRU and must be gone
+		t.Error("LRU instruction line survived 9 conflicting fills")
+	}
+}
+
+func TestPIBWindow(t *testing.T) {
+	cfg := arch.Default()
+	pib := NewPIB(cfg)
+	if pib.Contains(0) {
+		t.Fatal("empty PIB contains address")
+	}
+	pib.Refill(0x100)
+	if !pib.Contains(0x100) || !pib.Contains(0x13c) {
+		t.Error("PIB window too small: 16 instructions = 64 bytes")
+	}
+	if pib.Contains(0x140) || pib.Contains(0xfc) {
+		t.Error("PIB window too large")
+	}
+	pib.Invalidate()
+	if pib.Contains(0x100) {
+		t.Error("invalidated PIB still hits")
+	}
+}
+
+func TestFetchPathCosts(t *testing.T) {
+	cfg := arch.Default()
+	m := mem.New(cfg)
+	fp := &FetchPath{IC: NewICache(cfg), Mem: m, ICHitCycles: 2}
+	pib := NewPIB(cfg)
+
+	// Cold fetch: PIB miss + I-cache miss -> bubble includes the burst.
+	stall := fp.Fetch(0, &pib, 0x200)
+	if stall != 2+uint64(cfg.MemBurstCycles) {
+		t.Errorf("cold fetch stall = %d, want %d", stall, 2+cfg.MemBurstCycles)
+	}
+	// Within the PIB window: free.
+	if stall := fp.Fetch(20, &pib, 0x204); stall != 0 {
+		t.Errorf("PIB hit stall = %d, want 0", stall)
+	}
+	// Past the window but in the I-cache line: refill bubble only.
+	pib.Refill(0x1000)
+	if stall := fp.Fetch(30, &pib, 0x204); stall != 2 {
+		t.Errorf("I-cache hit stall = %d, want 2", stall)
+	}
+}
+
+func TestPartitionScratchShrinksCapacity(t *testing.T) {
+	s := newSystem(t)
+	if !s.PartitionScratch(3, 6) {
+		t.Fatal("partitioning rejected")
+	}
+	if s.PartitionScratch(-1, 1) || s.PartitionScratch(99, 1) || s.PartitionScratch(3, 8) {
+		t.Error("invalid partitioning accepted")
+	}
+	// With 6 of 8 ways reserved, a working set that fits 8 ways of one
+	// set now thrashes: stream 8 conflicting lines twice and count the
+	// second pass's misses.
+	cfg := arch.Default()
+	sets := uint32(cfg.DCacheBytes / cfg.DCacheLine / cfg.DCacheAssoc)
+	stride := sets * uint32(cfg.DCacheLine)
+	touch := func() {
+		for i := uint32(0); i < 8; i++ {
+			s.Load(uint64(i*100), eaOne(3, 0x1000+i*stride), 8, 3)
+		}
+	}
+	touch()
+	before := s.Caches[3].Misses
+	touch()
+	extra := s.Caches[3].Misses - before
+	if extra < 4 {
+		t.Errorf("partitioned cache took only %d second-pass misses, want thrashing", extra)
+	}
+	// An unpartitioned cache holds all 8 lines.
+	s2 := newSystem(t)
+	for i := uint32(0); i < 8; i++ {
+		s2.Load(uint64(i*100), eaOne(3, 0x1000+i*stride), 8, 3)
+	}
+	m := s2.Caches[3].Misses
+	for i := uint32(0); i < 8; i++ {
+		s2.Load(uint64(1000+i*100), eaOne(3, 0x1000+i*stride), 8, 3)
+	}
+	if s2.Caches[3].Misses != m {
+		t.Error("full cache evicted within its associativity")
+	}
+}
+
+// Property: after any access sequence, the assoc most-recently-used lines
+// of one set are always resident.
+func TestLRUProperty(t *testing.T) {
+	cfg := arch.Default()
+	d := NewDCache(cfg)
+	sets := uint32(cfg.DCacheBytes / cfg.DCacheLine / cfg.DCacheAssoc)
+	stride := sets * uint32(cfg.DCacheLine)
+	seed := uint32(99)
+	var recent []uint32
+	for step := 0; step < 2000; step++ {
+		seed = seed*1664525 + 1013904223
+		line := seed % 20
+		addr := line * stride
+		if h, _ := d.Lookup(addr); !h {
+			d.Install(addr, 0)
+		}
+		// Track recency.
+		for i, r := range recent {
+			if r == line {
+				recent = append(recent[:i], recent[i+1:]...)
+				break
+			}
+		}
+		recent = append(recent, line)
+		if len(recent) > cfg.DCacheAssoc {
+			recent = recent[1:]
+		}
+		for _, r := range recent {
+			// The verification probe itself refreshes recency, which
+			// keeps the tracked set resident — the invariant under test.
+			if h, _ := d.Lookup(r * stride); !h {
+				t.Fatalf("step %d: recently-used line %d evicted", step, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package cache models the Cyclops cache level: 32 software-controlled
+// data caches shared across the chip through a cache switch, and 16
+// instruction caches private to quad pairs with per-thread prefetch
+// instruction buffers (Section 2.1).
+//
+// The data caches track presence only (tags + LRU). The chip's single
+// physical memory array in package mem always holds the data: the caches
+// are write-through with no write-allocate, so a hit or miss changes
+// timing, never values. Real Cyclops hardware does not keep replicated
+// lines coherent (interest group zero can replicate); modeling tags only
+// makes replicas trivially consistent, which is conservative for the
+// benchmarks the paper runs — none of them relies on incoherent replicas.
+package cache
+
+import "cyclops/internal/arch"
+
+// DCache is one 16 KB quad data cache: set-associative tags with LRU
+// replacement and optional scratchpad partitioning.
+type DCache struct {
+	lineShift uint
+	setMask   uint32
+	assoc     int
+	// scratchWays ways are removed from the cached region and exposed as
+	// directly addressable fast memory (the 2 KB-granularity partitioning
+	// of Section 2.1; one way of the 16 KB/8-way design is exactly 2 KB).
+	scratchWays int
+
+	// tags[set*assoc+way] holds the line address (addr >> lineShift) + 1;
+	// zero means invalid.
+	tags []uint32
+	// lru[set*assoc+way] holds a per-set use stamp.
+	lru   []uint32
+	stamp uint32
+	// readyAt[set*assoc+way] is the cycle the line's fill completes; an
+	// access that hits a line still in flight cannot finish before it
+	// (the effect that penalises cyclic STREAM partitioning, where the
+	// eight threads of a group touch a line while it is being fetched).
+	readyAt []uint64
+
+	Hits, Misses uint64
+}
+
+// NewDCache builds a data cache from the configuration geometry.
+func NewDCache(cfg arch.Config) *DCache {
+	lines := cfg.DCacheBytes / cfg.DCacheLine
+	sets := lines / cfg.DCacheAssoc
+	d := &DCache{
+		assoc:   cfg.DCacheAssoc,
+		setMask: uint32(sets - 1),
+		tags:    make([]uint32, lines),
+		lru:     make([]uint32, lines),
+		readyAt: make([]uint64, lines),
+	}
+	for d.lineShift = 0; 1<<d.lineShift < cfg.DCacheLine; d.lineShift++ {
+	}
+	return d
+}
+
+// SetScratchWays reserves n ways (n x 2 KB at the default geometry) as
+// addressable fast memory, leaving assoc-n ways for caching. Reserved ways
+// are invalidated. It reports whether n was acceptable (0 <= n < assoc).
+func (d *DCache) SetScratchWays(n int) bool {
+	if n < 0 || n >= d.assoc {
+		return false
+	}
+	d.scratchWays = n
+	for set := uint32(0); set <= d.setMask; set++ {
+		for w := 0; w < n; w++ {
+			d.tags[int(set)*d.assoc+w] = 0
+		}
+	}
+	return true
+}
+
+// ScratchWays returns the current scratchpad partitioning.
+func (d *DCache) ScratchWays() int { return d.scratchWays }
+
+// Lookup probes for the line containing addr, updating LRU and hit/miss
+// counters. It does not allocate. On a hit, ready is the cycle the line's
+// most recent fill completes: accesses that catch a line in flight cannot
+// finish earlier.
+func (d *DCache) Lookup(addr uint32) (hit bool, ready uint64) {
+	line := addr>>d.lineShift + 1
+	set := (line - 1) & d.setMask
+	base := int(set) * d.assoc
+	for w := d.scratchWays; w < d.assoc; w++ {
+		if d.tags[base+w] == line {
+			d.stamp++
+			d.lru[base+w] = d.stamp
+			d.Hits++
+			return true, d.readyAt[base+w]
+		}
+	}
+	d.Misses++
+	return false, 0
+}
+
+// Install allocates the line containing addr with a fill completing at
+// ready, evicting the LRU way of its set if necessary. With zero cache
+// ways (full scratch partitioning is disallowed) there is always a victim.
+func (d *DCache) Install(addr uint32, ready uint64) {
+	line := addr>>d.lineShift + 1
+	set := (line - 1) & d.setMask
+	base := int(set) * d.assoc
+	victim := d.scratchWays
+	for w := d.scratchWays; w < d.assoc; w++ {
+		if d.tags[base+w] == line {
+			return // already present (racing installs)
+		}
+		if d.tags[base+w] == 0 {
+			victim = w
+			break
+		}
+		if d.lru[base+w] < d.lru[base+victim] {
+			victim = w
+		}
+	}
+	d.stamp++
+	d.tags[base+victim] = line
+	d.lru[base+victim] = d.stamp
+	d.readyAt[base+victim] = ready
+}
+
+// InvalidateAll empties the cache (used between experiment runs).
+func (d *DCache) InvalidateAll() {
+	for i := range d.tags {
+		d.tags[i] = 0
+		d.lru[i] = 0
+	}
+}
+
+// ResetStats clears the hit/miss counters.
+func (d *DCache) ResetStats() { d.Hits, d.Misses = 0, 0 }

@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"cyclops/internal/arch"
+	"cyclops/internal/mem"
+)
+
+// ICache is one 32 KB instruction cache shared by two quads (private to
+// the quad pair, unlike the data caches). Each thread fetches through its
+// 16-entry Prefetch Instruction Buffer; a PIB refill pulls one I-cache
+// line, and an I-cache miss pulls the line from memory.
+type ICache struct {
+	lineShift uint
+	setMask   uint32
+	assoc     int
+	tags      []uint32
+	lru       []uint32
+	stamp     uint32
+
+	Hits, Misses uint64
+}
+
+// NewICache builds an instruction cache from the configuration geometry.
+func NewICache(cfg arch.Config) *ICache {
+	lines := cfg.ICacheBytes / cfg.ICacheLine
+	sets := lines / cfg.ICacheAssoc
+	ic := &ICache{
+		assoc:   cfg.ICacheAssoc,
+		setMask: uint32(sets - 1),
+		tags:    make([]uint32, lines),
+		lru:     make([]uint32, lines),
+	}
+	for ic.lineShift = 0; 1<<ic.lineShift < cfg.ICacheLine; ic.lineShift++ {
+	}
+	return ic
+}
+
+// Fetch probes for the line containing addr, installing it on a miss.
+// It reports whether the access hit.
+func (ic *ICache) Fetch(addr uint32) bool {
+	line := addr>>ic.lineShift + 1
+	set := (line - 1) & ic.setMask
+	base := int(set) * ic.assoc
+	victim := 0
+	for w := 0; w < ic.assoc; w++ {
+		if ic.tags[base+w] == line {
+			ic.stamp++
+			ic.lru[base+w] = ic.stamp
+			ic.Hits++
+			return true
+		}
+		if ic.tags[base+w] == 0 {
+			victim = w
+		} else if ic.tags[base+victim] != 0 && ic.lru[base+w] < ic.lru[base+victim] {
+			victim = w
+		}
+	}
+	ic.Misses++
+	ic.stamp++
+	ic.tags[base+victim] = line
+	ic.lru[base+victim] = ic.stamp
+	return false
+}
+
+// PIB is a per-thread prefetch instruction buffer: it holds a window of
+// sequential instructions starting at base.
+type PIB struct {
+	base  uint32 // word address of entry 0; pibInvalid when empty
+	words uint32 // window size in bytes
+}
+
+const pibInvalid = ^uint32(0)
+
+// NewPIB sizes a buffer for cfg.PIBEntries instructions.
+func NewPIB(cfg arch.Config) PIB {
+	return PIB{base: pibInvalid, words: uint32(cfg.PIBEntries * arch.WordSize)}
+}
+
+// Contains reports whether the buffer currently covers addr.
+func (p *PIB) Contains(addr uint32) bool {
+	return p.base != pibInvalid && addr >= p.base && addr < p.base+p.words
+}
+
+// Refill repoints the buffer at the window starting at addr.
+func (p *PIB) Refill(addr uint32) { p.base = addr }
+
+// Invalidate empties the buffer.
+func (p *PIB) Invalidate() { p.base = pibInvalid }
+
+// FetchPath times one instruction fetch for a thread: PIB hit is free;
+// a PIB refill that hits the I-cache costs icHitCycles; an I-cache miss
+// additionally waits for the memory burst. Returns the added fetch stall.
+type FetchPath struct {
+	IC  *ICache
+	Mem *mem.Memory
+	// ICHitCycles is the refill bubble on a PIB miss that hits (2).
+	ICHitCycles uint64
+}
+
+// Fetch charges the fetch of the instruction at addr at cycle now through
+// pib, returning the cycles of fetch stall to add before issue.
+func (f *FetchPath) Fetch(now uint64, pib *PIB, addr uint32) uint64 {
+	if pib.Contains(addr) {
+		return 0
+	}
+	pib.Refill(addr)
+	if f.IC.Fetch(addr) {
+		return f.ICHitCycles
+	}
+	done := f.Mem.FillLine(now, addr)
+	return f.ICHitCycles + done - now
+}

@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"cyclops/internal/arch"
+	"cyclops/internal/mem"
+)
+
+// Where classifies where a data access was satisfied, matching the four
+// memory rows of Table 2.
+type Where uint8
+
+const (
+	// LocalHit: found in the accessing thread's quad cache (1+6 cycles).
+	LocalHit Where = iota
+	// LocalMiss: allocated into the quad cache from memory (1+24).
+	LocalMiss
+	// RemoteHit: found in another quad's cache via the switch (1+17).
+	RemoteHit
+	// RemoteMiss: allocated into a remote cache from memory (1+36).
+	RemoteMiss
+	// StoreThrough: a write-through store; retires in one port cycle.
+	StoreThrough
+)
+
+func (w Where) String() string {
+	switch w {
+	case LocalHit:
+		return "local hit"
+	case LocalMiss:
+		return "local miss"
+	case RemoteHit:
+		return "remote hit"
+	case RemoteMiss:
+		return "remote miss"
+	case StoreThrough:
+		return "store"
+	}
+	return "?"
+}
+
+// Access describes the outcome of one timed data access.
+type Access struct {
+	// Done is the cycle at which the loaded value is available to
+	// dependent instructions (for stores: when the thread may proceed).
+	Done uint64
+	// Where the access was satisfied.
+	Where Where
+	// Cache is the data cache that served the access.
+	Cache int
+}
+
+// System is the data side of the memory hierarchy: the 32 quad caches, the
+// cache switch, and the embedded memory behind them. Both the
+// instruction-level simulator and the direct-execution runtime time their
+// data accesses through exactly this object.
+type System struct {
+	Cfg    arch.Config
+	Mem    *mem.Memory
+	Caches []*DCache
+
+	// port[i] is the first cycle cache i's single 8-byte port is free.
+	port []uint64
+	// portBusy accumulates per-cache port occupancy for utilization.
+	portBusy []uint64
+	// lineShift is log2(DCacheLine) for interest-group scrambling.
+	lineShift uint
+	// fillPortCycles is the port occupancy of a line fill.
+	fillPortCycles uint64
+
+	// disabledQuads marks quads whose cache is out of service
+	// (Section 5 fault tolerance: a broken FPU disables its whole quad).
+	disabledQuads map[int]bool
+
+	// Stats by outcome.
+	Counts [5]uint64
+}
+
+// NewSystem builds the cache system over an existing memory.
+func NewSystem(cfg arch.Config, m *mem.Memory) *System {
+	n := cfg.Quads()
+	s := &System{
+		Cfg:            cfg,
+		Mem:            m,
+		Caches:         make([]*DCache, n),
+		port:           make([]uint64, n),
+		portBusy:       make([]uint64, n),
+		fillPortCycles: uint64(cfg.DCacheLine / cfg.DCachePortBytes),
+		disabledQuads:  make(map[int]bool),
+	}
+	for i := range s.Caches {
+		s.Caches[i] = NewDCache(cfg)
+	}
+	for s.lineShift = 0; 1<<s.lineShift < cfg.DCacheLine; s.lineShift++ {
+	}
+	return s
+}
+
+// DisableQuad takes quad q's cache out of service; accesses that would map
+// there are redirected to the next live quad (Section 5). It reports
+// whether q was valid and previously enabled.
+func (s *System) DisableQuad(q int) bool {
+	if q < 0 || q >= len(s.Caches) || s.disabledQuads[q] {
+		return false
+	}
+	if len(s.disabledQuads) == len(s.Caches)-1 {
+		return false // at least one quad must survive
+	}
+	s.disabledQuads[q] = true
+	s.Caches[q].InvalidateAll()
+	return true
+}
+
+// QuadDisabled reports whether quad q's cache is out of service.
+func (s *System) QuadDisabled(q int) bool { return s.disabledQuads[q] }
+
+// resolve picks the serving cache for an effective address accessed by a
+// thread homed on ownCache, skipping disabled quads.
+func (s *System) resolve(ea uint32, ownCache int) int {
+	c := arch.CacheFor(ea, ownCache, len(s.Caches), s.lineShift)
+	for s.disabledQuads[c] {
+		c = (c + 1) % len(s.Caches)
+	}
+	return c
+}
+
+// CacheFor exposes placement resolution (used by tests and the kernel).
+func (s *System) CacheFor(ea uint32, ownCache int) int { return s.resolve(ea, ownCache) }
+
+// PartitionScratch reserves n ways (n x 2 KB at the default geometry) of
+// quad q's cache as software-managed fast memory (Section 2.1), shrinking
+// the cached region. The threads sharing the cache must agree on the
+// organisation; this model charges the remaining ways' capacity, while
+// scratch accesses themselves ride the normal local-hit path.
+func (s *System) PartitionScratch(q, n int) bool {
+	if q < 0 || q >= len(s.Caches) {
+		return false
+	}
+	return s.Caches[q].SetScratchWays(n)
+}
+
+// Load times a data load of size bytes at effective address ea, issued at
+// cycle now by a thread homed on quad ownCache.
+func (s *System) Load(now uint64, ea uint32, size int, ownCache int) Access {
+	c := s.resolve(ea, ownCache)
+	phys := arch.Phys(ea)
+	local := c == ownCache
+	start := s.takePort(c, now, 1)
+	lat := &s.Cfg.Latencies
+
+	if hit, ready := s.Caches[c].Lookup(phys); hit {
+		w := RemoteHit
+		extra := uint64(lat.RemoteHitLatency)
+		if local {
+			w, extra = LocalHit, uint64(lat.LocalHitLatency)
+		}
+		s.Counts[w]++
+		done := start + extra
+		if ready > done {
+			// The line is still in flight from a concurrent miss;
+			// the access completes when the fill does.
+			done = ready
+		}
+		return Access{Done: done, Where: w, Cache: c}
+	}
+
+	// Miss: fill the line from its bank and install it. The fill
+	// transfer occupies the port; the occupancy is booked at request
+	// time (a reserved slot) so the single next-free port cursor never
+	// travels backwards.
+	fillDone := s.Mem.FillLine(start, phys)
+	s.Caches[c].Install(phys, fillDone)
+	s.takePort(c, start+1, s.fillPortCycles)
+	w := RemoteMiss
+	extra := uint64(lat.RemoteMissLatency)
+	if local {
+		w, extra = LocalMiss, uint64(lat.LocalMissLatency)
+	}
+	s.Counts[w]++
+	// The Table 2 miss latencies are unloaded; queueing at the bank adds
+	// on top. fillDone-start-burst is exactly the queueing delay.
+	queue := fillDone - start - uint64(s.Cfg.MemBurstCycles)
+	return Access{Done: start + extra + queue, Where: w, Cache: c}
+}
+
+// Store times a write-through store. The thread normally proceeds after
+// the port cycle; when the target bank's write buffer is full the store
+// blocks until the backlog drains, pacing store traffic to the memory's
+// service rate. If the line is present in the target cache it is updated
+// in place (the tags stay); no allocation happens on a store miss.
+func (s *System) Store(now uint64, ea uint32, size int, ownCache int) Access {
+	c := s.resolve(ea, ownCache)
+	phys := arch.Phys(ea)
+	start := s.takePort(c, now, 1)
+	// Keep LRU/tag state truthful: a store hit refreshes the line.
+	s.Caches[c].Lookup(phys)
+	admit := s.Mem.WriteThrough(start, phys, size)
+	s.Counts[StoreThrough]++
+	done := start + 1
+	if admit > done {
+		done = admit
+	}
+	return Access{Done: done, Where: StoreThrough, Cache: c}
+}
+
+// Atomic times a read-modify-write (amoadd/amoswap/amocas). It behaves as
+// a load for latency — the old value must return to the thread — plus the
+// write-through traffic of the store half. The cache port is held for both
+// halves, serialising concurrent atomics on one location's cache.
+func (s *System) Atomic(now uint64, ea uint32, size int, ownCache int) Access {
+	a := s.Load(now, ea, size, ownCache)
+	s.takePort(a.Cache, a.Done, 1)
+	s.Mem.WriteThrough(a.Done, arch.Phys(ea), size)
+	a.Done++
+	return a
+}
+
+// takePort reserves n cycles of cache c's port starting no earlier than
+// now; it returns the cycle service actually began.
+func (s *System) takePort(c int, now uint64, n uint64) uint64 {
+	start := now
+	if s.port[c] > start {
+		start = s.port[c]
+	}
+	s.port[c] = start + n
+	s.portBusy[c] += n
+	return start
+}
+
+// PortBusy returns cache c's accumulated port occupancy in cycles.
+func (s *System) PortBusy(c int) uint64 { return s.portBusy[c] }
+
+// Reset clears timing and tag state for a fresh experiment run.
+func (s *System) Reset() {
+	for i := range s.Caches {
+		s.Caches[i].InvalidateAll()
+		s.Caches[i].ResetStats()
+		s.port[i] = 0
+		s.portBusy[i] = 0
+	}
+	s.Counts = [5]uint64{}
+	s.Mem.ResetTiming()
+}

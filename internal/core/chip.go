@@ -1,0 +1,174 @@
+// Package core composes a Cyclops chip: the thread-unit topology, the
+// quad-shared FPUs, the data cache system, the quad-pair instruction
+// caches, the embedded memory banks, the wired-OR barrier network and the
+// optional off-chip memory — Figure 1 of the paper as a data structure.
+//
+// The package owns structure and shared-resource timing. Instruction
+// execution lives in internal/sim; the direct-execution timing runtime in
+// internal/perf drives the same chip object, so both frontends contend for
+// the identical resources.
+package core
+
+import (
+	"fmt"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/barrier"
+	"cyclops/internal/cache"
+	"cyclops/internal/isa"
+	"cyclops/internal/mem"
+)
+
+// FPU is one quad's floating-point unit: an adder and a multiplier, each
+// accepting one operation per cycle, and a non-pipelined divide/square-root
+// unit. A floating-point multiply-add dispatches to adder and multiplier
+// together and completes every cycle (Section 2).
+type FPU struct {
+	addFree, mulFree, divFree uint64
+	Ops                       uint64
+}
+
+// Dispatch reserves the pipes needed by pipe for exec cycles, starting no
+// earlier than now. It returns the cycle execution begins. The adder and
+// multiplier are pipelined (busy 1 cycle per op regardless of exec); the
+// divide/sqrt unit is not (busy for the whole exec).
+func (f *FPU) Dispatch(now uint64, pipe isa.FPUPipe, exec int) uint64 {
+	start := now
+	switch pipe {
+	case isa.PipeAdd:
+		if f.addFree > start {
+			start = f.addFree
+		}
+		f.addFree = start + 1
+	case isa.PipeMul:
+		if f.mulFree > start {
+			start = f.mulFree
+		}
+		f.mulFree = start + 1
+	case isa.PipeBoth:
+		if f.addFree > start {
+			start = f.addFree
+		}
+		if f.mulFree > start {
+			start = f.mulFree
+		}
+		f.addFree = start + 1
+		f.mulFree = start + 1
+	case isa.PipeDiv:
+		if f.divFree > start {
+			start = f.divFree
+		}
+		f.divFree = start + uint64(exec)
+	default:
+		return now
+	}
+	f.Ops++
+	return start
+}
+
+// Reset clears timing state.
+func (f *FPU) Reset() { *f = FPU{} }
+
+// Chip is a fully assembled Cyclops cell.
+type Chip struct {
+	Cfg     arch.Config
+	Mem     *mem.Memory
+	Data    *cache.System
+	ICaches []*cache.ICache
+	Fetch   []*cache.FetchPath
+	FPUs    []*FPU
+	Barrier *barrier.Wired
+	OffChip *mem.OffChip
+
+	disabledQuad []bool
+}
+
+// NewChip builds a chip for the configuration.
+func NewChip(cfg arch.Config) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mem.New(cfg)
+	c := &Chip{
+		Cfg:          cfg,
+		Mem:          m,
+		Data:         cache.NewSystem(cfg, m),
+		ICaches:      make([]*cache.ICache, cfg.ICaches()),
+		Fetch:        make([]*cache.FetchPath, cfg.ICaches()),
+		FPUs:         make([]*FPU, cfg.Quads()),
+		Barrier:      barrier.NewWired(cfg.Threads),
+		OffChip:      mem.NewOffChip(cfg),
+		disabledQuad: make([]bool, cfg.Quads()),
+	}
+	for i := range c.ICaches {
+		c.ICaches[i] = cache.NewICache(cfg)
+		c.Fetch[i] = &cache.FetchPath{IC: c.ICaches[i], Mem: m, ICHitCycles: 2}
+	}
+	for i := range c.FPUs {
+		c.FPUs[i] = &FPU{}
+	}
+	return c, nil
+}
+
+// MustNew builds a chip from a configuration known to be valid.
+func MustNew(cfg arch.Config) *Chip {
+	c, err := NewChip(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DisableQuad implements the Section 5 fault model for a broken FPU: the
+// whole quad is taken out of service — its four thread units stop being
+// schedulable and its data cache is bypassed. Computation continues on the
+// remaining quads.
+func (c *Chip) DisableQuad(q int) error {
+	if q < 0 || q >= c.Cfg.Quads() {
+		return fmt.Errorf("core: no quad %d", q)
+	}
+	if c.disabledQuad[q] {
+		return fmt.Errorf("core: quad %d already disabled", q)
+	}
+	if !c.Data.DisableQuad(q) {
+		return fmt.Errorf("core: cannot disable quad %d (last one standing?)", q)
+	}
+	c.disabledQuad[q] = true
+	return nil
+}
+
+// QuadDisabled reports whether quad q is out of service.
+func (c *Chip) QuadDisabled(q int) bool { return c.disabledQuad[q] }
+
+// ThreadUsable reports whether thread unit tid can be scheduled (its quad
+// is alive).
+func (c *Chip) ThreadUsable(tid int) bool {
+	return tid >= 0 && tid < c.Cfg.Threads && !c.disabledQuad[c.Cfg.QuadOf(tid)]
+}
+
+// UsableThreads counts schedulable thread units.
+func (c *Chip) UsableThreads() int {
+	n := 0
+	for q, d := range c.disabledQuad {
+		if !d {
+			_ = q
+			n += c.Cfg.ThreadsPerQuad
+		}
+	}
+	return n
+}
+
+// ResetTiming clears all shared-resource timing (not memory contents or
+// fault state) for back-to-back experiment runs.
+func (c *Chip) ResetTiming() {
+	c.Data.Reset()
+	for _, f := range c.FPUs {
+		f.Reset()
+	}
+	c.Barrier.Reset()
+}
+
+// LoadImage copies a program image into embedded memory.
+func (c *Chip) LoadImage(origin uint32, image []byte) error {
+	return c.Mem.Write(origin, image)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/isa"
+)
+
+func TestNewChipStructure(t *testing.T) {
+	c, err := NewChip(arch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FPUs) != 32 {
+		t.Errorf("FPUs = %d, want 32", len(c.FPUs))
+	}
+	if len(c.ICaches) != 16 {
+		t.Errorf("ICaches = %d, want 16", len(c.ICaches))
+	}
+	if len(c.Data.Caches) != 32 {
+		t.Errorf("D-caches = %d, want 32", len(c.Data.Caches))
+	}
+	if c.OffChip != nil {
+		t.Error("off-chip memory built without configuration")
+	}
+	if c.UsableThreads() != 128 {
+		t.Errorf("UsableThreads = %d", c.UsableThreads())
+	}
+}
+
+func TestNewChipRejectsInvalidConfig(t *testing.T) {
+	cfg := arch.Default()
+	cfg.Threads = 0
+	if _, err := NewChip(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFPUAdderAndMultiplierAreIndependentPipes(t *testing.T) {
+	var f FPU
+	// An add and a multiply dispatched the same cycle both start at once.
+	if s := f.Dispatch(10, isa.PipeAdd, 1); s != 10 {
+		t.Errorf("add start = %d", s)
+	}
+	if s := f.Dispatch(10, isa.PipeMul, 1); s != 10 {
+		t.Errorf("mul start = %d", s)
+	}
+	// A second add the same cycle waits one cycle (pipelined, 1/cycle).
+	if s := f.Dispatch(10, isa.PipeAdd, 1); s != 11 {
+		t.Errorf("second add start = %d, want 11", s)
+	}
+}
+
+func TestFMAOccupiesBothPipes(t *testing.T) {
+	var f FPU
+	f.Dispatch(0, isa.PipeBoth, 1) // starts at 0
+	// Adds and muls the same cycle are pushed back.
+	if s := f.Dispatch(0, isa.PipeAdd, 1); s != 1 {
+		t.Errorf("add behind FMA start = %d, want 1", s)
+	}
+	if s := f.Dispatch(0, isa.PipeMul, 1); s != 1 {
+		t.Errorf("mul behind FMA start = %d, want 1", s)
+	}
+	// FMAs themselves complete one per cycle.
+	if s := f.Dispatch(0, isa.PipeBoth, 1); s != 2 {
+		t.Errorf("second FMA start = %d, want 2 (behind add+mul)", s)
+	}
+}
+
+func TestDivideUnitIsNotPipelined(t *testing.T) {
+	var f FPU
+	f.Dispatch(0, isa.PipeDiv, 30)
+	if s := f.Dispatch(1, isa.PipeDiv, 30); s != 30 {
+		t.Errorf("second divide start = %d, want 30", s)
+	}
+	// The adder is unaffected by a busy divider.
+	if s := f.Dispatch(1, isa.PipeAdd, 1); s != 1 {
+		t.Errorf("add during divide start = %d, want 1", s)
+	}
+}
+
+func TestFPUReset(t *testing.T) {
+	var f FPU
+	f.Dispatch(0, isa.PipeDiv, 56)
+	f.Reset()
+	if s := f.Dispatch(0, isa.PipeDiv, 56); s != 0 {
+		t.Errorf("post-reset divide start = %d", s)
+	}
+}
+
+func TestDisableQuad(t *testing.T) {
+	c := MustNew(arch.Default())
+	if err := c.DisableQuad(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DisableQuad(2); err == nil {
+		t.Error("double disable accepted")
+	}
+	if err := c.DisableQuad(99); err == nil {
+		t.Error("bad quad accepted")
+	}
+	if c.ThreadUsable(8) || c.ThreadUsable(11) {
+		t.Error("threads of a disabled quad still usable")
+	}
+	if !c.ThreadUsable(12) {
+		t.Error("thread of a live quad unusable")
+	}
+	if c.UsableThreads() != 124 {
+		t.Errorf("UsableThreads = %d, want 124", c.UsableThreads())
+	}
+	if !c.QuadDisabled(2) || c.QuadDisabled(3) {
+		t.Error("QuadDisabled bookkeeping wrong")
+	}
+}
+
+func TestLoadImageAndResetTiming(t *testing.T) {
+	c := MustNew(arch.Default())
+	if err := c.LoadImage(0x100, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Mem.Read32(0x100)
+	if err != nil || w != 0x04030201 {
+		t.Fatalf("image word = %#x, %v", w, err)
+	}
+	c.FPUs[0].Dispatch(0, isa.PipeDiv, 56)
+	c.Barrier.Write(0, 1)
+	c.ResetTiming()
+	if c.Barrier.Read() != 0 {
+		t.Error("ResetTiming left barrier bits")
+	}
+	if s := c.FPUs[0].Dispatch(0, isa.PipeDiv, 1); s != 0 {
+		t.Error("ResetTiming left FPU busy")
+	}
+	// Memory contents survive.
+	if w, _ := c.Mem.Read32(0x100); w != 0x04030201 {
+		t.Error("ResetTiming wiped memory")
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	c := MustNew(arch.Default())
+	// Drive some traffic through every resource class.
+	c.Data.Load(0, 0x1000, 8, 0)
+	c.Data.Load(50, 0x1000, 8, 0) // hit
+	c.Data.Store(60, 0x2000, 8, 1)
+	c.FPUs[0].Dispatch(0, isa.PipeBoth, 1)
+	u := c.Utilization(1000)
+	if u.Elapsed != 1000 || u.Quads != 32 {
+		t.Errorf("report header wrong: %+v", u)
+	}
+	if u.BankBusyFrac <= 0 || u.BankBusyFrac > 1 {
+		t.Errorf("bank fraction %v", u.BankBusyFrac)
+	}
+	if u.PortBusyFrac <= 0 {
+		t.Error("port fraction zero despite traffic")
+	}
+	if u.DCacheHitRate <= 0 || u.DCacheHitRate >= 1 {
+		t.Errorf("hit rate %v, want strictly between 0 and 1", u.DCacheHitRate)
+	}
+	if u.FPUOpsPerCycle <= 0 {
+		t.Error("FPU ops missing")
+	}
+	s := u.String()
+	for _, want := range []string{"memory banks", "cache ports", "FPUs", "peak 64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	// Zero elapsed is safe.
+	if z := c.Utilization(0); z.BankBusyFrac != 0 {
+		t.Error("zero-window report not zeroed")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Utilization summarises how busy each shared resource was over an
+// elapsed window — the first place to look when deciding whether a
+// workload is bank-, port- or FPU-bound.
+type Utilization struct {
+	Elapsed uint64
+	// BankBusyFrac is mean DRAM bank occupancy (0..1).
+	BankBusyFrac float64
+	// PortBusyFrac is mean cache-port occupancy (0..1).
+	PortBusyFrac float64
+	// FPUOpsPerCycle is aggregate FPU operations per cycle (peak: 2 per
+	// quad — one add + one multiply).
+	FPUOpsPerCycle float64
+	// DCacheHitRate over all data caches (0..1); NaN-free: 0 if no
+	// accesses.
+	DCacheHitRate float64
+	// LineFills and WriteBursts are raw memory-traffic counters.
+	LineFills, WriteBursts uint64
+	// Quads records the chip shape for peak annotations.
+	Quads int
+}
+
+// Utilization computes the report for the first elapsed cycles; pass the
+// machine's final cycle count.
+func (c *Chip) Utilization(elapsed uint64) Utilization {
+	u := Utilization{Elapsed: elapsed, Quads: c.Cfg.Quads()}
+	if elapsed == 0 {
+		return u
+	}
+	u.BankBusyFrac = float64(c.Mem.BusyCycles()) / float64(elapsed*uint64(c.Cfg.MemBanks))
+	var port uint64
+	for q := 0; q < c.Cfg.Quads(); q++ {
+		port += c.Data.PortBusy(q)
+	}
+	u.PortBusyFrac = float64(port) / float64(elapsed*uint64(c.Cfg.Quads()))
+	var fpuOps uint64
+	for _, f := range c.FPUs {
+		fpuOps += f.Ops
+	}
+	u.FPUOpsPerCycle = float64(fpuOps) / float64(elapsed)
+	var hits, misses uint64
+	for _, d := range c.Data.Caches {
+		hits += d.Hits
+		misses += d.Misses
+	}
+	if hits+misses > 0 {
+		u.DCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	u.LineFills = c.Mem.LineFills
+	u.WriteBursts = c.Mem.WriteBursts
+	return u
+}
+
+// String renders the report as a compact block.
+func (u Utilization) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "over %d cycles:\n", u.Elapsed)
+	fmt.Fprintf(&sb, "  memory banks %5.1f%% busy (%d fills, %d write bursts)\n",
+		100*u.BankBusyFrac, u.LineFills, u.WriteBursts)
+	fmt.Fprintf(&sb, "  cache ports  %5.1f%% busy, hit rate %.1f%%\n",
+		100*u.PortBusyFrac, 100*u.DCacheHitRate)
+	fmt.Fprintf(&sb, "  FPUs         %5.2f ops/cycle (peak %d)\n",
+		u.FPUOpsPerCycle, 2*u.Quads)
+	return sb.String()
+}

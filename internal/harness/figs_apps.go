@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+
+	"cyclops/internal/md"
+	"cyclops/internal/ray"
+	"cyclops/internal/splash"
+)
+
+// Apps runs the Section 5 target-application trio — molecular dynamics,
+// raytracing, and linear algebra (LU) — across thread counts. This is an
+// extension beyond the paper's figures: the conclusion names these
+// workloads as what Cyclops is for, and this table shows how each class
+// behaves on the chip (barrier-phased MD, embarrassingly parallel rays,
+// dependence-structured LU).
+func Apps(s Scale) (*Table, error) {
+	mdN, rayW, rayH, luN := 512, 64, 48, 128
+	threads := []int{1, 4, 16}
+	if s == Full {
+		mdN, rayW, rayH, luN = 4096, 160, 120, 512
+		threads = []int{1, 4, 16, 64, 120}
+	}
+	t := &Table{
+		ID:      "apps",
+		Title:   "Section 5 target applications: speedups (balanced placement)",
+		Columns: []string{"threads", "MD", "Raytrace", "LU"},
+	}
+	cfg := func(tc int) splash.Config {
+		return splash.Config{Threads: tc, Balanced: true}
+	}
+	runAll := func(tc int) (*splash.Result, *splash.Result, *splash.Result, error) {
+		m, _, err := md.Run(md.Opts{Config: cfg(tc), NParticles: mdN, Steps: 1})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("md: %w", err)
+		}
+		r, _, err := ray.Render(ray.Opts{Config: cfg(tc), Width: rayW, Height: rayH})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("ray: %w", err)
+		}
+		l, err := splash.RunLU(splash.LUOpts{Config: cfg(tc), N: luN})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("lu: %w", err)
+		}
+		return m, r, l, nil
+	}
+	baseMD, baseRay, baseLU, err := runAll(1)
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range threads {
+		m, r, l, err := runAll(tc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", tc),
+			f2(m.Speedup(baseMD)), f2(r.Speedup(baseRay)), f2(l.Speedup(baseLU)))
+	}
+	t.Note("MD %d particles, raytrace %dx%d, LU %d^2; rays are barrier-free and scale furthest",
+		mdN, rayW, rayH, luN)
+	return t, nil
+}

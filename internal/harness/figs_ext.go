@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/core"
+	"cyclops/internal/kernel"
+	"cyclops/internal/link"
+	"cyclops/internal/splash"
+	"cyclops/internal/stream"
+)
+
+// Fault quantifies the Section 5 future-work behaviour: STREAM Triad
+// bandwidth as banks fail and quads are disabled. The paper promises the
+// chip "is expected to function even with broken components"; this table
+// shows how gracefully.
+func Fault(s Scale) (*Table, error) {
+	perThread := 504
+	if s == Full {
+		perThread = 1000
+	}
+	t := &Table{
+		ID:      "fault",
+		Title:   "Degraded-chip STREAM Triad (Section 5 fault tolerance)",
+		Columns: []string{"banks down", "quads down", "threads", "memory MB", "GB/s", "% of healthy"},
+	}
+	var healthy float64
+	for _, f := range []struct{ banks, quads int }{
+		{0, 0}, {1, 0}, {2, 0}, {4, 0}, {0, 4}, {0, 8}, {4, 8},
+	} {
+		chip := core.MustNew(arch.Default())
+		for b := 0; b < f.banks; b++ {
+			if err := chip.Mem.FailBank(b); err != nil {
+				return nil, err
+			}
+		}
+		for q := 0; q < f.quads; q++ {
+			if err := chip.DisableQuad(q); err != nil {
+				return nil, err
+			}
+		}
+		threads := chip.UsableThreads() - 2
+		if threads > chip.Cfg.WorkerThreads() {
+			threads = chip.Cfg.WorkerThreads()
+		}
+		n := perThread * threads
+		n -= n % (8 * threads)
+		r, err := stream.RunOn(chip, stream.Params{
+			Kernel: stream.Triad, Threads: threads, N: n,
+			Local: true, Unroll: 4, Reps: 2,
+		}, kernel.Sequential)
+		if err != nil {
+			return nil, err
+		}
+		g := r.GBps()
+		if healthy == 0 {
+			healthy = g
+		}
+		t.AddRow(fmt.Sprintf("%d", f.banks), fmt.Sprintf("%d", f.quads),
+			fmt.Sprintf("%d", threads), fmt.Sprintf("%.1f", float64(chip.Mem.Size())/(1<<20)),
+			f1(g), f1(100*g/healthy))
+	}
+	t.Note("failed banks shrink and re-map the address space; a broken FPU disables its quad")
+	return t, nil
+}
+
+// Mesh weak-scales a halo-exchanged computation over 3-D torus systems
+// (Section 2.2: chips as cells). Per-cell compute comes from a real
+// single-chip Ocean timing run; the link model times the halo traffic.
+func Mesh(s Scale) (*Table, error) {
+	block := 64
+	sides := []int{1, 2, 4}
+	if s == Full {
+		block = 128
+		sides = []int{1, 2, 4, 8, 16}
+	}
+	threads := 126
+	if threads > block {
+		threads = block
+	}
+	r, err := splash.RunOcean(splash.OceanOpts{
+		Config: splash.Config{Threads: threads},
+		N:      block, Iters: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	compute := r.Cycles
+	halo := 4 * block * 8
+
+	t := &Table{
+		ID:      "mesh",
+		Title:   "Multi-chip weak scaling over the 3-D torus (Section 2.2 extension)",
+		Columns: []string{"cells", "system", "step cycles", "comm %", "aggregate Gflop/s"},
+	}
+	for _, side := range sides {
+		m, err := link.NewMesh(link.DefaultLinkConfig(), link.Coord{X: side, Y: side, Z: side}, true)
+		if err != nil {
+			return nil, err
+		}
+		var worst uint64
+		for x := 0; x < side; x++ {
+			for y := 0; y < side; y++ {
+				for z := 0; z < side; z++ {
+					src := link.Coord{X: x, Y: y, Z: z}
+					for _, dst := range []link.Coord{
+						{X: (x + 1) % side, Y: y, Z: z},
+						{X: x, Y: (y + 1) % side, Z: z},
+					} {
+						if dst == src {
+							continue
+						}
+						done, err := m.Send(0, src, dst, halo)
+						if err != nil {
+							return nil, err
+						}
+						if done > worst {
+							worst = done
+						}
+					}
+				}
+			}
+		}
+		step := compute + worst
+		cells := side * side * side
+		flops := float64(cells) * float64(block*block) * 6
+		t.AddRow(fmt.Sprintf("%d", cells),
+			fmt.Sprintf("%dx%dx%d", side, side, side),
+			fmt.Sprintf("%d", step),
+			f1(100*float64(worst)/float64(step)),
+			f1(flops/(float64(step)/arch.ClockHz)/1e9))
+	}
+	t.Note("per-cell compute: %d cycles for a %d^2 relaxation on %d threads; halo %d bytes/step", compute, block, threads, halo)
+	return t, nil
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+
+	"cyclops/internal/perf"
+	"cyclops/internal/splash"
+)
+
+// fig3Sizes returns the per-kernel problem sizes.
+func fig3Sizes(s Scale) (barnes, fft, fmm, lu, ocean, radix int) {
+	if s == Full {
+		return 2048, 65536, 4096, 512, 512, 524288
+	}
+	return 256, 4096, 1024, 128, 64, 16384
+}
+
+// fig3Threads returns the thread counts swept.
+func fig3Threads(s Scale) []int {
+	if s == Full {
+		return []int{1, 2, 4, 8, 16, 32, 64, 126}
+	}
+	return []int{1, 4, 16}
+}
+
+// Fig3 reproduces the SPLASH-2 speedup curves.
+func Fig3(s Scale) (*Table, error) {
+	nBarnes, nFFT, nFMM, nLU, nOcean, nRadix := fig3Sizes(s)
+	threads := fig3Threads(s)
+	kernels := []struct {
+		name string
+		run  func(t int) (*splash.Result, error)
+		max  int // kernel-specific thread ceiling, 0 = none
+	}{
+		{"Barnes", func(t int) (*splash.Result, error) {
+			return splash.RunBarnes(splash.BarnesOpts{Config: splash.Config{Threads: t}, NBodies: nBarnes, Steps: 1})
+		}, 0},
+		{"FFT", func(t int) (*splash.Result, error) {
+			return splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: t}, N: nFFT})
+		}, intSqrtOf(nFFT)},
+		{"FMM", func(t int) (*splash.Result, error) {
+			return splash.RunFMM(splash.FMMOpts{Config: splash.Config{Threads: t}, NBodies: nFMM})
+		}, 0},
+		{"LU", func(t int) (*splash.Result, error) {
+			return splash.RunLU(splash.LUOpts{Config: splash.Config{Threads: t}, N: nLU})
+		}, 0},
+		{"Ocean", func(t int) (*splash.Result, error) {
+			return splash.RunOcean(splash.OceanOpts{Config: splash.Config{Threads: t}, N: nOcean})
+		}, nOcean},
+		{"Radix", func(t int) (*splash.Result, error) {
+			return splash.RunRadix(splash.RadixOpts{Config: splash.Config{Threads: t}, N: nRadix})
+		}, 0},
+	}
+
+	cols := []string{"threads"}
+	for _, k := range kernels {
+		cols = append(cols, k.name)
+	}
+	t := &Table{ID: "fig3", Title: "SPLASH-2 parallel speedups", Columns: cols}
+
+	bases := make([]*splash.Result, len(kernels))
+	for i, k := range kernels {
+		r, err := k.run(1)
+		if err != nil {
+			return nil, fmt.Errorf("%s threads=1: %w", k.name, err)
+		}
+		bases[i] = r
+	}
+	for _, tc := range threads {
+		row := []string{fmt.Sprintf("%d", tc)}
+		for i, k := range kernels {
+			if k.max != 0 && tc > k.max {
+				row = append(row, "-")
+				continue
+			}
+			r, err := k.run(tc)
+			if err != nil {
+				return nil, fmt.Errorf("%s threads=%d: %w", k.name, tc, err)
+			}
+			row = append(row, f2(r.Speedup(bases[i])))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("problem sizes: Barnes %d bodies, FFT %d pts, FMM %d charges, LU %d^2, Ocean %d^2, Radix %d keys",
+		nBarnes, nFFT, nFMM, nLU, nOcean, nRadix)
+	t.Note("FFT is bounded by the points-per-processor >= sqrt(n) constraint")
+	return t, nil
+}
+
+func intSqrtOf(n int) int {
+	r := 1
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// fig7Variant builds the two panels of Figure 7.
+func fig7Variant(points int) func(Scale) (*Table, error) {
+	return func(s Scale) (*Table, error) { return Fig7(points, s) }
+}
+
+// Fig7 compares hardware and software barriers on the FFT kernel,
+// reporting the relative change in total, run and stall cycles (negative
+// bars are improvements, as in the paper).
+func Fig7(points int, s Scale) (*Table, error) {
+	n := points
+	if s == Small && n > 4096 {
+		n = 4096
+	}
+	maxThreads := intSqrtOf(n)
+	var threadCounts []int
+	for tc := 2; tc <= maxThreads && tc <= 64; tc *= 2 {
+		threadCounts = append(threadCounts, tc)
+	}
+	t := &Table{
+		ID:      fmt.Sprintf("fig7-%d", points),
+		Title:   fmt.Sprintf("HW vs SW barriers, %d-point FFT (%% change, negative = better)", n),
+		Columns: []string{"threads", "total %", "run %", "stall %", "sw cycles", "hw cycles"},
+	}
+	for _, tc := range threadCounts {
+		sw, err := splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: tc, Barrier: splash.SW}, N: n})
+		if err != nil {
+			return nil, err
+		}
+		hw, err := splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: tc, Barrier: splash.HW}, N: n})
+		if err != nil {
+			return nil, err
+		}
+		pct := func(hwV, swV uint64) string {
+			if swV == 0 {
+				return "-"
+			}
+			return f1(100 * (float64(hwV) - float64(swV)) / float64(swV))
+		}
+		t.AddRow(fmt.Sprintf("%d", tc),
+			pct(hw.Cycles, sw.Cycles), pct(hw.Run, sw.Run), pct(hw.Stall, sw.Stall),
+			fmt.Sprintf("%d", sw.Cycles), fmt.Sprintf("%d", hw.Cycles))
+	}
+	t.Note("paper: run cycles rise (spinning on the SPR is cheap work), stalls drop sharply;")
+	t.Note("total improves ~10%% for 256 points at 16 threads, ~5%% for 64K points at 64 threads")
+	return t, nil
+}
+
+// MicroBarrier measures raw barrier cost: threads do nothing but
+// synchronise, so the per-barrier latency is total/phases.
+func MicroBarrier(s Scale) (*Table, error) {
+	phases := 20
+	counts := []int{2, 8, 32}
+	if s == Full {
+		counts = []int{2, 4, 8, 16, 32, 64, 126}
+	}
+	t := &Table{
+		ID:      "microbarrier",
+		Title:   "Barrier latency (cycles per barrier, no work between)",
+		Columns: []string{"threads", "hw", "sw tree"},
+	}
+	measure := func(n int, kind splash.BarrierKind) (uint64, error) {
+		m := perf.NewDefault()
+		var bhw *perf.HWBarrier
+		var bsw *perf.SWBarrier
+		if kind == splash.HW {
+			bhw = perf.NewHWBarrier(n)
+		} else {
+			bsw = perf.NewSWBarrier(m, n, 4)
+		}
+		err := m.SpawnN(n, func(th *perf.T, i int) {
+			for p := 0; p < phases; p++ {
+				if bhw != nil {
+					th.HWBarrier(bhw)
+				} else {
+					th.SWBarrier(bsw, i)
+				}
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Run(); err != nil {
+			return 0, err
+		}
+		return m.Elapsed() / uint64(phases), nil
+	}
+	for _, n := range counts {
+		hw, err := measure(n, splash.HW)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := measure(n, splash.SW)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", hw), fmt.Sprintf("%d", sw))
+	}
+	t.Note("hardware barrier cost is a small constant; the software tree grows with depth and memory contention")
+	return t, nil
+}

@@ -1,0 +1,50 @@
+// Package image defines the on-disk container for assembled Cyclops
+// programs, shared by cyclops-asm (writer) and cyclops-sim (reader).
+//
+// Layout (little-endian):
+//
+//	offset 0   4  magic "CYC1"
+//	offset 4   4  origin
+//	offset 8   4  entry
+//	offset 12  4  image byte count n
+//	offset 16  n  image bytes
+package image
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cyclops/internal/asm"
+)
+
+// Magic identifies a Cyclops image file.
+const Magic = "CYC1"
+
+// Encode serialises a program.
+func Encode(p *asm.Program) []byte {
+	out := make([]byte, 16+len(p.Bytes))
+	copy(out, Magic)
+	binary.LittleEndian.PutUint32(out[4:], p.Origin)
+	binary.LittleEndian.PutUint32(out[8:], p.Entry)
+	binary.LittleEndian.PutUint32(out[12:], uint32(len(p.Bytes)))
+	copy(out[16:], p.Bytes)
+	return out
+}
+
+// Decode parses an image file. Symbols are not stored in the container;
+// the returned program has an empty symbol table.
+func Decode(b []byte) (*asm.Program, error) {
+	if len(b) < 16 || string(b[:4]) != Magic {
+		return nil, fmt.Errorf("image: not a %s file", Magic)
+	}
+	n := binary.LittleEndian.Uint32(b[12:])
+	if uint32(len(b)-16) < n {
+		return nil, fmt.Errorf("image: truncated: header says %d bytes, file has %d", n, len(b)-16)
+	}
+	return &asm.Program{
+		Origin:  binary.LittleEndian.Uint32(b[4:]),
+		Entry:   binary.LittleEndian.Uint32(b[8:]),
+		Bytes:   b[16 : 16+n],
+		Symbols: map[string]uint32{},
+	}, nil
+}

@@ -1,0 +1,70 @@
+package image
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/asm"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p, err := asm.Assemble(`
+	.org 0x200
+_start:	li r8, 42
+	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(Encode(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != p.Origin || got.Entry != p.Entry {
+		t.Errorf("header: %#x/%#x, want %#x/%#x", got.Origin, got.Entry, p.Origin, p.Entry)
+	}
+	if len(got.Bytes) != len(p.Bytes) {
+		t.Fatalf("size %d, want %d", len(got.Bytes), len(p.Bytes))
+	}
+	for i := range p.Bytes {
+		if got.Bytes[i] != p.Bytes[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(origin, entry uint32, body []byte) bool {
+		p := &asm.Program{Origin: origin, Entry: entry, Bytes: body}
+		got, err := Decode(Encode(p))
+		if err != nil {
+			return false
+		}
+		if got.Origin != origin || got.Entry != entry || len(got.Bytes) != len(body) {
+			return false
+		}
+		for i := range body {
+			if got.Bytes[i] != body[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOPE0123456789ab"),
+		append([]byte(Magic), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f), // huge size
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

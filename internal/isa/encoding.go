@@ -1,0 +1,185 @@
+package isa
+
+import "fmt"
+
+// Instruction encoding. All instructions are one 32-bit word:
+//
+//	bits 31..25  opcode (7 bits)
+//	bits 24..19  field A (rd, or rs for stores, or ra for branches)
+//	bits 18..13  field B (ra, or rb for branches)
+//	bits 12..7   field C (rb)
+//	bits  6..1   field D (rc of the FMA family)
+//	bits 12..0   imm13, sign-extended (I, S, B formats)
+//	bits 18..0   imm19 (U, J formats; sign-extended for J)
+//
+// Branch and jump offsets are in words relative to the next instruction.
+
+// Inst is a decoded instruction. Fields not used by the format are zero.
+type Inst struct {
+	Op  Op
+	A   uint8 // rd / rs / ra, by format
+	B   uint8 // ra / rb
+	C   uint8 // rb
+	D   uint8 // rc (FmtR4 only)
+	Imm int32 // imm13 or imm19, sign-extended as the format requires
+}
+
+const (
+	// MaxImm13 and MinImm13 bound the signed 13-bit immediate.
+	MaxImm13 = 1<<12 - 1
+	MinImm13 = -(1 << 12)
+	// MaxImm19 and MinImm19 bound the signed 19-bit immediate (FmtJ).
+	MaxImm19 = 1<<18 - 1
+	MinImm19 = -(1 << 18)
+	// MaxUImm19 bounds the unsigned 19-bit immediate (FmtU).
+	MaxUImm19 = 1<<19 - 1
+)
+
+// Encode packs an instruction into its 32-bit machine word. It returns an
+// error when an operand does not fit its field.
+func (in Inst) Encode() (uint32, error) {
+	info := Lookup(in.Op)
+	if in.Op == OpInvalid || in.Op >= NumOps {
+		return 0, fmt.Errorf("isa: cannot encode opcode %d", in.Op)
+	}
+	for _, r := range []struct {
+		name string
+		v    uint8
+	}{{"A", in.A}, {"B", in.B}, {"C", in.C}, {"D", in.D}} {
+		if r.v >= 64 {
+			return 0, fmt.Errorf("isa: %s register field %d out of range in %s", r.name, r.v, info.Name)
+		}
+	}
+	w := uint32(in.Op) << 25
+	switch info.Format {
+	case FmtR:
+		w |= uint32(in.A)<<19 | uint32(in.B)<<13 | uint32(in.C)<<7
+	case FmtR4:
+		w |= uint32(in.A)<<19 | uint32(in.B)<<13 | uint32(in.C)<<7 | uint32(in.D)<<1
+	case FmtI, FmtS, FmtB:
+		if ZeroExtImm(in.Op) {
+			if in.Imm < 0 || in.Imm > 0x1fff {
+				return 0, fmt.Errorf("isa: immediate %d does not fit unsigned 13 bits in %s", in.Imm, info.Name)
+			}
+		} else if in.Imm < MinImm13 || in.Imm > MaxImm13 {
+			return 0, fmt.Errorf("isa: immediate %d does not fit 13 bits in %s", in.Imm, info.Name)
+		}
+		w |= uint32(in.A)<<19 | uint32(in.B)<<13 | uint32(in.Imm)&0x1fff
+	case FmtU:
+		if in.Imm < 0 || in.Imm > MaxUImm19 {
+			return 0, fmt.Errorf("isa: immediate %d does not fit unsigned 19 bits in %s", in.Imm, info.Name)
+		}
+		w |= uint32(in.A)<<19 | uint32(in.Imm)&0x7ffff
+	case FmtJ:
+		if in.Imm < MinImm19 || in.Imm > MaxImm19 {
+			return 0, fmt.Errorf("isa: immediate %d does not fit 19 bits in %s", in.Imm, info.Name)
+		}
+		w |= uint32(in.A)<<19 | uint32(in.Imm)&0x7ffff
+	case FmtN:
+		// opcode only
+	default:
+		return 0, fmt.Errorf("isa: unknown format %v", info.Format)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for statically known-good instructions.
+func (in Inst) MustEncode() uint32 {
+	w, err := in.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a machine word. Unknown opcodes decode to OpInvalid with
+// the raw word preserved in Imm so traps can report it.
+func Decode(w uint32) Inst {
+	op := Op(w >> 25)
+	if op >= NumOps || op == OpInvalid {
+		return Inst{Op: OpInvalid, Imm: int32(w)}
+	}
+	info := Lookup(op)
+	in := Inst{Op: op}
+	switch info.Format {
+	case FmtR:
+		in.A = uint8(w>>19) & 63
+		in.B = uint8(w>>13) & 63
+		in.C = uint8(w>>7) & 63
+	case FmtR4:
+		in.A = uint8(w>>19) & 63
+		in.B = uint8(w>>13) & 63
+		in.C = uint8(w>>7) & 63
+		in.D = uint8(w>>1) & 63
+	case FmtI, FmtS, FmtB:
+		in.A = uint8(w>>19) & 63
+		in.B = uint8(w>>13) & 63
+		if ZeroExtImm(op) {
+			in.Imm = int32(w & 0x1fff)
+		} else {
+			in.Imm = signExtend(w&0x1fff, 13)
+		}
+	case FmtU:
+		in.A = uint8(w>>19) & 63
+		in.Imm = int32(w & 0x7ffff)
+	case FmtJ:
+		in.A = uint8(w>>19) & 63
+		in.Imm = signExtend(w&0x7ffff, 19)
+	case FmtN:
+	}
+	return in
+}
+
+// ZeroExtImm reports whether op's 13-bit immediate is zero-extended
+// (logical immediates and shift amounts) rather than sign-extended.
+func ZeroExtImm(op Op) bool {
+	switch op {
+	case OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI:
+		return true
+	}
+	return false
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// String disassembles the instruction with numeric register names.
+func (in Inst) String() string {
+	info := Lookup(in.Op)
+	switch info.Format {
+	case FmtR:
+		if info.Mem { // atomics: rd, (ra), rb
+			return fmt.Sprintf("%s r%d, (r%d), r%d", info.Name, in.A, in.B, in.C)
+		}
+		switch in.Op {
+		case OpFNEG, OpFABS, OpFMOV, OpFSQRT, OpFCVTDW, OpFCVTWD:
+			return fmt.Sprintf("%s r%d, r%d", info.Name, in.A, in.B)
+		}
+		return fmt.Sprintf("%s r%d, r%d, r%d", info.Name, in.A, in.B, in.C)
+	case FmtR4:
+		return fmt.Sprintf("%s r%d, r%d, r%d, r%d", info.Name, in.A, in.B, in.C, in.D)
+	case FmtI:
+		if info.Mem {
+			return fmt.Sprintf("%s r%d, %d(r%d)", info.Name, in.A, in.Imm, in.B)
+		}
+		switch in.Op {
+		case OpMFSPR, OpMTSPR:
+			return fmt.Sprintf("%s r%d, %d", info.Name, in.A, in.Imm)
+		case OpJALR:
+			return fmt.Sprintf("%s r%d, %d(r%d)", info.Name, in.A, in.Imm, in.B)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", info.Name, in.A, in.B, in.Imm)
+	case FmtS:
+		return fmt.Sprintf("%s r%d, %d(r%d)", info.Name, in.A, in.Imm, in.B)
+	case FmtB:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.Name, in.A, in.B, in.Imm)
+	case FmtU:
+		return fmt.Sprintf("%s r%d, %d", info.Name, in.A, in.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s r%d, %d", info.Name, in.A, in.Imm)
+	default:
+		return info.Name
+	}
+}

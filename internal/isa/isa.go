@@ -1,0 +1,362 @@
+// Package isa defines the Cyclops instruction set: a 3-operand load/store
+// RISC with about 60 instruction types (Section 2 of the paper), plus the
+// multithreading extensions the paper calls out — atomic memory operations,
+// synchronization instructions, and the special-purpose-register moves that
+// reach the wired-OR hardware barrier.
+//
+// The original Cyclops ISA is proprietary; this one reproduces its published
+// shape: 32-bit fixed-width instructions, 64 general-purpose 32-bit
+// registers per thread that pair up (even, odd) for double-precision
+// values, and the instruction classes whose costs Table 2 specifies.
+package isa
+
+import "fmt"
+
+// Op is an operation code.
+type Op uint8
+
+// The instruction set. Grouped as in Table 2's cost classes.
+const (
+	// OpInvalid is the zero Op; executing it traps.
+	OpInvalid Op = iota
+
+	// Integer register-register.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLT
+	OpSLTU
+	OpMUL
+	OpDIV
+	OpDIVU
+
+	// Integer register-immediate.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpSLTIU
+	OpLUI
+
+	// Loads. LD fills a double-precision register pair.
+	OpLW
+	OpLH
+	OpLHU
+	OpLB
+	OpLBU
+	OpLD
+
+	// Stores. SD writes a register pair.
+	OpSW
+	OpSH
+	OpSB
+	OpSD
+
+	// Branches (condition codes are not used; compare-and-branch).
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Jumps.
+	OpJAL
+	OpJALR
+
+	// Floating point, double precision on (even, odd) register pairs.
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFSQRT
+	OpFMA // d = a*b + c
+	OpFMS // d = a*b - c
+	OpFNEG
+	OpFABS
+	OpFMOV
+	OpFCVTDW // int word -> double
+	OpFCVTWD // double -> int word, truncating
+	OpFCEQ   // integer rd = (a == b)
+	OpFCLT
+	OpFCLE
+
+	// Atomic memory operations (multithreading extensions).
+	OpAMOADD  // rd = mem[ra]; mem[ra] += rb, atomically
+	OpAMOSWAP // rd = mem[ra]; mem[ra] = rb
+	OpAMOCAS  // if mem[ra] == rd { mem[ra] = rb }; rd = old value
+
+	// Special-purpose registers and synchronization.
+	OpMFSPR
+	OpMTSPR
+	OpSYNC
+
+	// System.
+	OpSYSCALL
+	OpHALT
+
+	NumOps
+)
+
+// Format describes how an instruction's operand fields are laid out.
+type Format uint8
+
+const (
+	// FmtR: rd, ra, rb (register-register).
+	FmtR Format = iota
+	// FmtR4: rd, ra, rb, rc (fused multiply-add family).
+	FmtR4
+	// FmtI: rd, ra, imm13 (immediates, loads, JALR).
+	FmtI
+	// FmtS: rs, ra, imm13 (stores: value register, base, offset).
+	FmtS
+	// FmtB: ra, rb, imm13 (compare-and-branch; offset in words).
+	FmtB
+	// FmtU: rd, imm19 (LUI: rd = imm19 << 13).
+	FmtU
+	// FmtJ: rd, imm19 (JAL; offset in words).
+	FmtJ
+	// FmtN: no operands (SYNC, HALT, SYSCALL).
+	FmtN
+)
+
+// Class is the Table 2 cost class of an instruction.
+type Class uint8
+
+const (
+	// ClassOther: 1 execution cycle, no extra latency.
+	ClassOther Class = iota
+	// ClassBranch: 2 execution cycles.
+	ClassBranch
+	// ClassIntMul: 1 execution, 5 latency.
+	ClassIntMul
+	// ClassIntDiv: 33 execution cycles, non-pipelined.
+	ClassIntDiv
+	// ClassFP: FP add/mul/convert, 1 execution, 5 latency. Uses the quad
+	// FPU's adder or multiplier pipe.
+	ClassFP
+	// ClassFPDiv: 30 execution cycles on the divide/sqrt unit.
+	ClassFPDiv
+	// ClassFPSqrt: 56 execution cycles on the divide/sqrt unit.
+	ClassFPSqrt
+	// ClassFMA: 1 execution, 9 latency; uses both FPU pipes.
+	ClassFMA
+	// ClassMem: 1 execution cycle on the cache port plus a latency that
+	// depends on where the line is found (Table 2, memory rows).
+	ClassMem
+)
+
+// FPUPipe identifies which pipe of the shared FPU an instruction occupies.
+type FPUPipe uint8
+
+const (
+	// PipeNone: instruction does not use the FPU.
+	PipeNone FPUPipe = iota
+	// PipeAdd: the adder (add, sub, neg, abs, compares, converts).
+	PipeAdd
+	// PipeMul: the multiplier.
+	PipeMul
+	// PipeBoth: FMA family dispatches to adder and multiplier together.
+	PipeBoth
+	// PipeDiv: the non-pipelined divide / square-root unit.
+	PipeDiv
+)
+
+// Info is the static description of one operation.
+type Info struct {
+	Name   string
+	Format Format
+	Class  Class
+	Pipe   FPUPipe
+	// Mem marks loads, stores and atomics; Store marks memory writes;
+	// Pair marks 64-bit (register-pair) memory operands.
+	Mem, Store, Pair bool
+}
+
+var infos = [NumOps]Info{
+	OpInvalid: {Name: "invalid", Format: FmtN, Class: ClassOther},
+
+	OpADD:  {Name: "add", Format: FmtR, Class: ClassOther},
+	OpSUB:  {Name: "sub", Format: FmtR, Class: ClassOther},
+	OpAND:  {Name: "and", Format: FmtR, Class: ClassOther},
+	OpOR:   {Name: "or", Format: FmtR, Class: ClassOther},
+	OpXOR:  {Name: "xor", Format: FmtR, Class: ClassOther},
+	OpNOR:  {Name: "nor", Format: FmtR, Class: ClassOther},
+	OpSLL:  {Name: "sll", Format: FmtR, Class: ClassOther},
+	OpSRL:  {Name: "srl", Format: FmtR, Class: ClassOther},
+	OpSRA:  {Name: "sra", Format: FmtR, Class: ClassOther},
+	OpSLT:  {Name: "slt", Format: FmtR, Class: ClassOther},
+	OpSLTU: {Name: "sltu", Format: FmtR, Class: ClassOther},
+	OpMUL:  {Name: "mul", Format: FmtR, Class: ClassIntMul},
+	OpDIV:  {Name: "div", Format: FmtR, Class: ClassIntDiv},
+	OpDIVU: {Name: "divu", Format: FmtR, Class: ClassIntDiv},
+
+	OpADDI:  {Name: "addi", Format: FmtI, Class: ClassOther},
+	OpANDI:  {Name: "andi", Format: FmtI, Class: ClassOther},
+	OpORI:   {Name: "ori", Format: FmtI, Class: ClassOther},
+	OpXORI:  {Name: "xori", Format: FmtI, Class: ClassOther},
+	OpSLLI:  {Name: "slli", Format: FmtI, Class: ClassOther},
+	OpSRLI:  {Name: "srli", Format: FmtI, Class: ClassOther},
+	OpSRAI:  {Name: "srai", Format: FmtI, Class: ClassOther},
+	OpSLTI:  {Name: "slti", Format: FmtI, Class: ClassOther},
+	OpSLTIU: {Name: "sltiu", Format: FmtI, Class: ClassOther},
+	OpLUI:   {Name: "lui", Format: FmtU, Class: ClassOther},
+
+	OpLW:  {Name: "lw", Format: FmtI, Class: ClassMem, Mem: true},
+	OpLH:  {Name: "lh", Format: FmtI, Class: ClassMem, Mem: true},
+	OpLHU: {Name: "lhu", Format: FmtI, Class: ClassMem, Mem: true},
+	OpLB:  {Name: "lb", Format: FmtI, Class: ClassMem, Mem: true},
+	OpLBU: {Name: "lbu", Format: FmtI, Class: ClassMem, Mem: true},
+	OpLD:  {Name: "ld", Format: FmtI, Class: ClassMem, Mem: true, Pair: true},
+
+	OpSW: {Name: "sw", Format: FmtS, Class: ClassMem, Mem: true, Store: true},
+	OpSH: {Name: "sh", Format: FmtS, Class: ClassMem, Mem: true, Store: true},
+	OpSB: {Name: "sb", Format: FmtS, Class: ClassMem, Mem: true, Store: true},
+	OpSD: {Name: "sd", Format: FmtS, Class: ClassMem, Mem: true, Store: true, Pair: true},
+
+	OpBEQ:  {Name: "beq", Format: FmtB, Class: ClassBranch},
+	OpBNE:  {Name: "bne", Format: FmtB, Class: ClassBranch},
+	OpBLT:  {Name: "blt", Format: FmtB, Class: ClassBranch},
+	OpBGE:  {Name: "bge", Format: FmtB, Class: ClassBranch},
+	OpBLTU: {Name: "bltu", Format: FmtB, Class: ClassBranch},
+	OpBGEU: {Name: "bgeu", Format: FmtB, Class: ClassBranch},
+
+	OpJAL:  {Name: "jal", Format: FmtJ, Class: ClassBranch},
+	OpJALR: {Name: "jalr", Format: FmtI, Class: ClassBranch},
+
+	OpFADD:   {Name: "fadd", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFSUB:   {Name: "fsub", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFMUL:   {Name: "fmul", Format: FmtR, Class: ClassFP, Pipe: PipeMul},
+	OpFDIV:   {Name: "fdiv", Format: FmtR, Class: ClassFPDiv, Pipe: PipeDiv},
+	OpFSQRT:  {Name: "fsqrt", Format: FmtR, Class: ClassFPSqrt, Pipe: PipeDiv},
+	OpFMA:    {Name: "fma", Format: FmtR4, Class: ClassFMA, Pipe: PipeBoth},
+	OpFMS:    {Name: "fms", Format: FmtR4, Class: ClassFMA, Pipe: PipeBoth},
+	OpFNEG:   {Name: "fneg", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFABS:   {Name: "fabs", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFMOV:   {Name: "fmov", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFCVTDW: {Name: "fcvtdw", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFCVTWD: {Name: "fcvtwd", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFCEQ:   {Name: "fceq", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFCLT:   {Name: "fclt", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+	OpFCLE:   {Name: "fcle", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
+
+	OpAMOADD:  {Name: "amoadd", Format: FmtR, Class: ClassMem, Mem: true, Store: true},
+	OpAMOSWAP: {Name: "amoswap", Format: FmtR, Class: ClassMem, Mem: true, Store: true},
+	OpAMOCAS:  {Name: "amocas", Format: FmtR, Class: ClassMem, Mem: true, Store: true},
+
+	OpMFSPR: {Name: "mfspr", Format: FmtI, Class: ClassOther},
+	OpMTSPR: {Name: "mtspr", Format: FmtI, Class: ClassOther},
+	OpSYNC:  {Name: "sync", Format: FmtN, Class: ClassOther},
+
+	OpSYSCALL: {Name: "syscall", Format: FmtN, Class: ClassOther},
+	OpHALT:    {Name: "halt", Format: FmtN, Class: ClassOther},
+}
+
+// Lookup returns the static description of op.
+func Lookup(op Op) Info {
+	if op >= NumOps {
+		return infos[OpInvalid]
+	}
+	return infos[op]
+}
+
+// String returns the mnemonic.
+func (op Op) String() string { return Lookup(op).Name }
+
+// ByName resolves a mnemonic to its Op; ok is false for unknown mnemonics.
+func ByName(name string) (op Op, ok bool) {
+	o, ok := byName[name]
+	return o, ok
+}
+
+var byName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); op < NumOps; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// Special-purpose register numbers.
+const (
+	// SPRTid reads the hardware thread id.
+	SPRTid = 0
+	// SPRNThreads reads the number of thread units on the chip.
+	SPRNThreads = 1
+	// SPRCycle reads the low 32 bits of the chip cycle counter.
+	SPRCycle = 2
+	// SPRCycleHi reads the high 32 bits of the chip cycle counter.
+	SPRCycleHi = 3
+	// SPRBarrier is the 8-bit wired-OR barrier register (Section 2.3).
+	// A thread writes its own contribution and reads back the OR over
+	// all threads.
+	SPRBarrier = 4
+	// SPRMemSize reads the amount of working embedded memory; the
+	// fault-tolerance hardware lowers it when banks fail (Section 5).
+	SPRMemSize = 5
+	// SPRQuad reads the accessing thread's quad number.
+	SPRQuad = 6
+	// NumSPRs bounds the SPR file.
+	NumSPRs = 8
+)
+
+// Register conventions used by the assembler and the kernel ABI.
+const (
+	// RZero is hardwired to zero.
+	RZero = 0
+	// RSP is the stack pointer.
+	RSP = 1
+	// RLR is the link register written by jal/jalr.
+	RLR = 2
+	// RArg0 .. RArg3 (r4..r7) carry syscall/function arguments and
+	// results.
+	RArg0 = 4
+	RArg1 = 5
+	RArg2 = 6
+	RArg3 = 7
+)
+
+// Syscall numbers (placed in RArg0; see internal/kernel).
+const (
+	SysExit = iota
+	SysPutc
+	SysPutInt
+	SysSpawn
+	SysJoin
+	SysThreads
+	SysOffChipRead
+	SysOffChipWrite
+	NumSyscalls
+)
+
+func (f Format) String() string {
+	switch f {
+	case FmtR:
+		return "R"
+	case FmtR4:
+		return "R4"
+	case FmtI:
+		return "I"
+	case FmtS:
+		return "S"
+	case FmtB:
+		return "B"
+	case FmtU:
+		return "U"
+	case FmtJ:
+		return "J"
+	case FmtN:
+		return "N"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}

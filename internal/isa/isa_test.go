@@ -1,0 +1,231 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeCountMatchesPaper(t *testing.T) {
+	// "The proprietary ISA consists of about 60 instruction types."
+	n := int(NumOps) - 1 // exclude OpInvalid
+	if n < 55 || n > 70 {
+		t.Errorf("ISA has %d instruction types, want about 60", n)
+	}
+}
+
+func TestEveryOpHasInfoAndUniqueName(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(1); op < NumOps; op++ {
+		info := Lookup(op)
+		if info.Name == "" {
+			t.Fatalf("op %d has no mnemonic", op)
+		}
+		if prev, dup := seen[info.Name]; dup {
+			t.Fatalf("mnemonic %q used by ops %d and %d", info.Name, prev, op)
+		}
+		seen[info.Name] = op
+		back, ok := ByName(info.Name)
+		if !ok || back != op {
+			t.Fatalf("ByName(%q) = %d,%v; want %d", info.Name, back, ok, op)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName accepted an unknown mnemonic")
+	}
+}
+
+func TestClassesMatchTable2Semantics(t *testing.T) {
+	if Lookup(OpBEQ).Class != ClassBranch || Lookup(OpJAL).Class != ClassBranch {
+		t.Error("branches must be ClassBranch")
+	}
+	if Lookup(OpMUL).Class != ClassIntMul || Lookup(OpDIV).Class != ClassIntDiv {
+		t.Error("integer multiply/divide classes wrong")
+	}
+	if Lookup(OpFADD).Class != ClassFP || Lookup(OpFMUL).Class != ClassFP {
+		t.Error("fp add/mul must be ClassFP")
+	}
+	if Lookup(OpFDIV).Class != ClassFPDiv || Lookup(OpFSQRT).Class != ClassFPSqrt {
+		t.Error("fp divide/sqrt classes wrong")
+	}
+	if Lookup(OpFMA).Class != ClassFMA {
+		t.Error("fma must be ClassFMA")
+	}
+	for _, op := range []Op{OpLW, OpSW, OpLD, OpSD, OpAMOADD, OpAMOCAS} {
+		if Lookup(op).Class != ClassMem || !Lookup(op).Mem {
+			t.Errorf("%v must be a ClassMem memory op", op)
+		}
+	}
+	for _, op := range []Op{OpSW, OpSD, OpAMOADD, OpAMOSWAP, OpAMOCAS} {
+		if !Lookup(op).Store {
+			t.Errorf("%v must be marked Store", op)
+		}
+	}
+	if Lookup(OpLW).Store {
+		t.Error("lw must not be marked Store")
+	}
+	if !Lookup(OpLD).Pair || !Lookup(OpSD).Pair || Lookup(OpLW).Pair {
+		t.Error("Pair marking wrong for ld/sd/lw")
+	}
+}
+
+func TestFPUPipeAssignments(t *testing.T) {
+	// Section 2: "Threads can dispatch a floating point addition and a
+	// floating point multiplication at every cycle" — separate pipes.
+	if Lookup(OpFADD).Pipe != PipeAdd || Lookup(OpFMUL).Pipe != PipeMul {
+		t.Error("fadd/fmul must use distinct FPU pipes")
+	}
+	if Lookup(OpFMA).Pipe != PipeBoth {
+		t.Error("fma must occupy both pipes")
+	}
+	if Lookup(OpFDIV).Pipe != PipeDiv || Lookup(OpFSQRT).Pipe != PipeDiv {
+		t.Error("divide and sqrt share the divide unit")
+	}
+	if Lookup(OpADD).Pipe != PipeNone || Lookup(OpLW).Pipe != PipeNone {
+		t.Error("integer and memory ops must not touch the FPU")
+	}
+}
+
+// randomInst builds a random valid instruction for the given op.
+func randomInst(r *rand.Rand, op Op) Inst {
+	info := Lookup(op)
+	in := Inst{Op: op}
+	reg := func() uint8 { return uint8(r.Intn(64)) }
+	switch info.Format {
+	case FmtR:
+		in.A, in.B, in.C = reg(), reg(), reg()
+	case FmtR4:
+		in.A, in.B, in.C, in.D = reg(), reg(), reg(), reg()
+	case FmtI, FmtS, FmtB:
+		in.A, in.B = reg(), reg()
+		if ZeroExtImm(op) {
+			in.Imm = int32(r.Intn(0x2000))
+		} else {
+			in.Imm = int32(r.Intn(MaxImm13-MinImm13+1)) + MinImm13
+		}
+	case FmtU:
+		in.A = reg()
+		in.Imm = int32(r.Intn(MaxUImm19 + 1))
+	case FmtJ:
+		in.A = reg()
+		in.Imm = int32(r.Intn(MaxImm19-MinImm19+1)) + MinImm19
+	case FmtN:
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTripAllOps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for op := Op(1); op < NumOps; op++ {
+		for i := 0; i < 200; i++ {
+			in := randomInst(r, op)
+			w, err := in.Encode()
+			if err != nil {
+				t.Fatalf("%v: encode: %v", in, err)
+			}
+			got := Decode(w)
+			if got != in {
+				t.Fatalf("round trip %+v -> %#x -> %+v", in, w, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		op := Op(1 + rr.Intn(int(NumOps)-1))
+		in := randomInst(r, op)
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		return Decode(w) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADD, A: 64},
+		{Op: OpADDI, A: 1, B: 2, Imm: MaxImm13 + 1},
+		{Op: OpADDI, A: 1, B: 2, Imm: MinImm13 - 1},
+		{Op: OpLUI, A: 1, Imm: -1},
+		{Op: OpLUI, A: 1, Imm: MaxUImm19 + 1},
+		{Op: OpJAL, A: 2, Imm: MaxImm19 + 1},
+		{Op: OpInvalid},
+		{Op: NumOps},
+	}
+	for _, in := range cases {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	w := uint32(uint32(NumOps)+5) << 25
+	in := Decode(w)
+	if in.Op != OpInvalid {
+		t.Errorf("unknown opcode decoded to %v", in.Op)
+	}
+	if uint32(in.Imm) != w {
+		t.Errorf("raw word not preserved: %#x vs %#x", in.Imm, w)
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	in := Inst{Op: OpADDI, A: 1, B: 2, Imm: -1}
+	if got := Decode(in.MustEncode()).Imm; got != -1 {
+		t.Errorf("imm13 -1 round-tripped to %d", got)
+	}
+	in = Inst{Op: OpJAL, A: 2, Imm: MinImm19}
+	if got := Decode(in.MustEncode()).Imm; got != MinImm19 {
+		t.Errorf("imm19 min round-tripped to %d", got)
+	}
+}
+
+func TestDisassemblyShapes(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADD, A: 3, B: 4, C: 5}, "add r3, r4, r5"},
+		{Inst{Op: OpADDI, A: 3, B: 4, Imm: -7}, "addi r3, r4, -7"},
+		{Inst{Op: OpLW, A: 8, B: 1, Imm: 16}, "lw r8, 16(r1)"},
+		{Inst{Op: OpSD, A: 10, B: 2, Imm: -8}, "sd r10, -8(r2)"},
+		{Inst{Op: OpBEQ, A: 3, B: 0, Imm: 12}, "beq r3, r0, 12"},
+		{Inst{Op: OpFMA, A: 8, B: 10, C: 12, D: 14}, "fma r8, r10, r12, r14"},
+		{Inst{Op: OpFSQRT, A: 8, B: 10}, "fsqrt r8, r10"},
+		{Inst{Op: OpAMOADD, A: 3, B: 4, C: 5}, "amoadd r3, (r4), r5"},
+		{Inst{Op: OpMFSPR, A: 9, Imm: SPRBarrier}, "mfspr r9, 4"},
+		{Inst{Op: OpHALT}, "halt"},
+		{Inst{Op: OpLUI, A: 6, Imm: 1234}, "lui r6, 1234"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on bad instruction")
+		}
+	}()
+	Inst{Op: OpADD, A: 99}.MustEncode()
+}
+
+func TestFormatString(t *testing.T) {
+	for _, f := range []Format{FmtR, FmtR4, FmtI, FmtS, FmtB, FmtU, FmtJ, FmtN} {
+		if s := f.String(); s == "" || strings.HasPrefix(s, "Format(") {
+			t.Errorf("format %d has no name", f)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"testing"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/asm"
+	"cyclops/internal/core"
+)
+
+// Small library routines in Cyclops assembly — the call/return convention,
+// byte-granularity memory ops and flow control working together.
+const asmlibSrc = `
+_start:	; memcpy(dst, src, 37)
+	la   a1, dst
+	la   a2, src
+	li   a3, 37
+	call memcpy
+	; n = strlen(dst)
+	la   a1, dst
+	call strlen
+	la   r9, outlen
+	sw   a0, 0(r9)
+	; cmp = strcmp(dst, src)  -> 0
+	la   a1, dst
+	la   a2, src
+	call strcmp
+	la   r9, outcmp
+	sw   a0, 0(r9)
+	; cmp2 = strcmp(src, other) -> nonzero
+	la   a1, src
+	la   a2, other
+	call strcmp
+	la   r9, outcmp2
+	sw   a0, 0(r9)
+	li   a0, 0
+	syscall
+
+; memcpy(a1=dst, a2=src, a3=n): bytewise
+memcpy:	beq  a3, r0, mcdone
+mcloop:	lbu  r8, 0(a2)
+	sb   r8, 0(a1)
+	addi a1, a1, 1
+	addi a2, a2, 1
+	addi a3, a3, -1
+	bne  a3, r0, mcloop
+mcdone:	ret
+
+; strlen(a1) -> a0
+strlen:	li   a0, 0
+sloop:	lbu  r8, 0(a1)
+	beq  r8, r0, sdone
+	addi a0, a0, 1
+	addi a1, a1, 1
+	b    sloop
+sdone:	ret
+
+; strcmp(a1, a2) -> a0 (difference of first mismatching bytes)
+strcmp:	lbu  r8, 0(a1)
+	lbu  r9, 0(a2)
+	bne  r8, r9, scdiff
+	beq  r8, r0, sceq
+	addi a1, a1, 1
+	addi a2, a2, 1
+	b    strcmp
+sceq:	li   a0, 0
+	ret
+scdiff:	sub  a0, r8, r9
+	ret
+
+	.align 4
+src:	.asciz "the quick brown fox jumps over me"
+other:	.asciz "the quick brown fox jumps over you"
+	.align 4
+outlen:	.word 0
+outcmp:	.word 1
+outcmp2:.word 0
+	.align 4
+dst:	.space 64
+`
+
+func TestAsmLibraryRoutines(t *testing.T) {
+	p, err := asm.Assemble(asmlibSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := core.MustNew(arch.Default())
+	k := New(chip)
+	k.Machine().MaxCycles = 1_000_000
+	if err := k.Boot(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rd := func(sym string) uint32 {
+		v, err := chip.Mem.Read32(p.Symbols[sym])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	const text = "the quick brown fox jumps over me"
+	if n := rd("outlen"); n != uint32(len(text)) {
+		t.Errorf("strlen = %d, want %d", n, len(text))
+	}
+	if c := rd("outcmp"); c != 0 {
+		t.Errorf("strcmp(equal) = %d", c)
+	}
+	if c := rd("outcmp2"); int32(c) >= 0 {
+		t.Errorf("strcmp('...me','...you') = %d, want negative ('m' < 'y')", int32(c))
+	}
+	// The copied string is intact in memory.
+	got := make([]byte, len(text))
+	if err := chip.Mem.Read(p.Symbols["dst"], got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != text {
+		t.Errorf("memcpy result = %q", got)
+	}
+}

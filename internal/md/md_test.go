@@ -1,0 +1,164 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"cyclops/internal/splash"
+)
+
+func TestEnergyConservation(t *testing.T) {
+	const n = 216 // 6^3 lattice
+	st := Lattice(n, 0.8, 5)
+	_, _, before := Energy(st)
+	_, st2, err := Run(Opts{
+		Config:     cfg(4),
+		NParticles: n, Steps: 40, Dt: 0.002, State: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, after := Energy(st2)
+	drift := math.Abs(after-before) / math.Abs(before)
+	if drift > 0.05 {
+		t.Errorf("energy drifted %.2f%% over 40 steps (%.4f -> %.4f)", 100*drift, before, after)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	const n = 125
+	st := Lattice(n, 0.7, 9)
+	_, st2, err := Run(Opts{Config: cfg(3), NParticles: n, Steps: 20, State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Momentum(st2)
+	for d := 0; d < 3; d++ {
+		if math.Abs(m[d]) > 1e-9 {
+			t.Errorf("net momentum axis %d = %g, want ~0", d, m[d])
+		}
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	const n = 125
+	s1 := Lattice(n, 0.8, 1)
+	s2 := Lattice(n, 0.8, 1)
+	if _, _, err := Run(Opts{Config: cfg(1), NParticles: n, Steps: 5, State: s1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(Opts{Config: cfg(8), NParticles: n, Steps: 5, State: s2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			if math.Abs(s1.Pos[i][d]-s2.Pos[i][d]) > 1e-10 {
+				t.Fatalf("trajectories diverge at particle %d", i)
+			}
+		}
+	}
+}
+
+func TestForcesMatchDirectSum(t *testing.T) {
+	// One step with dt=0 leaves positions alone but fills Force; compare
+	// against a brute-force evaluation.
+	const n = 64
+	st := Lattice(n, 0.3, 3)
+	ref := directForces(st)
+	_, st2, err := Run(Opts{Config: cfg(2), NParticles: n, Steps: 1, Dt: 1e-12, State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			if math.Abs(st2.Force[i][d]-ref[i][d]) > 1e-8 {
+				t.Fatalf("particle %d axis %d: %g vs %g", i, d, st2.Force[i][d], ref[i][d])
+			}
+		}
+	}
+}
+
+func directForces(st *State) [][3]float64 {
+	n := len(st.Pos)
+	out := make([][3]float64, n)
+	cut2 := Cutoff * Cutoff
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			r2, dr := minImage(st, i, j)
+			if r2 >= cut2 || r2 == 0 {
+				continue
+			}
+			f := ljForceOverR(r2)
+			for d := 0; d < 3; d++ {
+				out[i][d] += f * dr[d]
+			}
+		}
+	}
+	return out
+}
+
+func TestScaling(t *testing.T) {
+	const n = 1000
+	base, _, err := Run(Opts{Config: cfg(1), NParticles: n, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := Run(Opts{Config: cfg(16), NParticles: n, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := par.Speedup(base); s < 3.5 {
+		t.Errorf("16-thread MD speedup = %.2f, want > 3.5", s)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := Run(Opts{Config: cfg(1), NParticles: 1}); err == nil {
+		t.Error("single particle accepted")
+	}
+	if _, _, err := Run(Opts{Config: cfg(125), NParticles: 64, Density: 0.9}); err == nil {
+		t.Error("more threads than cells accepted")
+	}
+}
+
+func TestLatticeSetup(t *testing.T) {
+	st := Lattice(100, 0.8, 7)
+	if len(st.Pos) != 100 || st.Box <= 0 {
+		t.Fatal("lattice malformed")
+	}
+	m := Momentum(st)
+	for d := 0; d < 3; d++ {
+		if math.Abs(m[d]) > 1e-9 {
+			t.Errorf("initial momentum axis %d = %g", d, m[d])
+		}
+	}
+	for i := range st.Pos {
+		for d := 0; d < 3; d++ {
+			if st.Pos[i][d] < 0 || st.Pos[i][d] >= st.Box {
+				t.Fatalf("particle %d outside box", i)
+			}
+		}
+	}
+}
+
+func TestRepulsionPushesApart(t *testing.T) {
+	// Two particles closer than the LJ minimum repel: force on i points
+	// away from j.
+	st := &State{
+		Pos:   [][3]float64{{1, 1, 1}, {2, 1, 1}},
+		Vel:   make([][3]float64, 2),
+		Force: make([][3]float64, 2),
+		Box:   10,
+	}
+	f := directForces(st)
+	if f[0][0] >= 0 || f[1][0] <= 0 {
+		t.Errorf("repulsive pair forces wrong: %v %v", f[0], f[1])
+	}
+}
+
+func cfg(threads int) splash.Config {
+	return splash.Config{Threads: threads}
+}

@@ -1,0 +1,243 @@
+// Package mem models the embedded memory of the Cyclops chip: 16
+// independent banks of 512 KB DRAM behind a memory switch (Section 2.1).
+//
+// The banks provide a contiguous physical address space, interleaved at
+// cache-line granularity so a 64-byte line fill rides a single 12-cycle
+// burst (two consecutive 32-byte blocks in burst transfer mode). The peak
+// bandwidth is 16 banks x 64 B / 12 cycles = 42.7 GB/s at 500 MHz.
+//
+// The package also implements the Section 5 fault-tolerance behaviour —
+// failed banks shrink the contiguous space and addresses are re-mapped over
+// the surviving banks — and the Section 2.1 off-chip memory, which is not
+// directly addressable and moves 1 KB blocks like a disk.
+package mem
+
+import (
+	"fmt"
+
+	"cyclops/internal/arch"
+)
+
+// Memory is the embedded DRAM: functional storage plus per-bank timing.
+type Memory struct {
+	cfg  arch.Config
+	data []byte
+
+	// live maps logical bank -> physical bank after failures; len(live)
+	// banks remain.
+	live []int
+
+	banks []bank
+
+	// Stats.
+	LineFills   uint64
+	WriteBursts uint64
+}
+
+type bank struct {
+	// freeAt is the first cycle at which the bank can start a new burst.
+	freeAt uint64
+	// wcbBytes counts write-through bytes accumulated toward the next
+	// 32-byte write-combining burst.
+	wcbBytes int
+	// busy accumulates occupied cycles for utilization stats.
+	busy uint64
+}
+
+// New builds the embedded memory for a configuration.
+func New(cfg arch.Config) *Memory {
+	live := make([]int, cfg.MemBanks)
+	for i := range live {
+		live[i] = i
+	}
+	return &Memory{
+		cfg:   cfg,
+		data:  make([]byte, cfg.MemBytes()),
+		live:  live,
+		banks: make([]bank, cfg.MemBanks),
+	}
+}
+
+// Size returns the currently working memory size in bytes; bank failures
+// reduce it (the value the SPRMemSize register reports).
+func (m *Memory) Size() uint32 {
+	return uint32(len(m.live) * m.cfg.MemBankBytes)
+}
+
+// FailBank removes physical bank pb from service. The hardware re-maps the
+// remaining banks so that the address space stays contiguous (Section 5);
+// data is not preserved, as on real hardware, so this is a boot-time event.
+func (m *Memory) FailBank(pb int) error {
+	if pb < 0 || pb >= m.cfg.MemBanks {
+		return fmt.Errorf("mem: no bank %d", pb)
+	}
+	for i, b := range m.live {
+		if b == pb {
+			m.live = append(m.live[:i:i], m.live[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: bank %d already failed", pb)
+}
+
+// LiveBanks returns the number of working banks.
+func (m *Memory) LiveBanks() int { return len(m.live) }
+
+// bankOf maps a physical address to the index into m.banks, applying the
+// fault re-map: the XOR-folded interleave (see arch.Config.BankOf) runs
+// over the surviving banks only.
+func (m *Memory) bankOf(addr uint32) (int, error) {
+	if addr >= m.Size() {
+		return 0, fmt.Errorf("mem: address %#x beyond working memory %#x", addr, m.Size())
+	}
+	line := addr >> m.cfg.MemInterleaveShift
+	logical := int(line^line>>4^line>>8) % len(m.live)
+	return m.live[logical], nil
+}
+
+// backingOffset maps a physical address to an offset in the storage
+// array. Storage layout is independent of bank assignment (the array is
+// sized for all banks and stays a simple identity map), which keeps the
+// mapping bijective after bank failures shrink the address space; data is
+// not preserved across a failure, as on the real hardware.
+func (m *Memory) backingOffset(addr uint32) (int, error) {
+	if addr >= m.Size() {
+		return 0, fmt.Errorf("mem: address %#x beyond working memory %#x", addr, m.Size())
+	}
+	return int(addr), nil
+}
+
+// --- Functional storage ---------------------------------------------------
+
+// Read copies len(p) bytes at physical address addr into p.
+func (m *Memory) Read(addr uint32, p []byte) error {
+	for i := range p {
+		off, err := m.backingOffset(addr + uint32(i))
+		if err != nil {
+			return err
+		}
+		p[i] = m.data[off]
+	}
+	return nil
+}
+
+// Write stores p at physical address addr.
+func (m *Memory) Write(addr uint32, p []byte) error {
+	for i := range p {
+		off, err := m.backingOffset(addr + uint32(i))
+		if err != nil {
+			return err
+		}
+		m.data[off] = p[i]
+	}
+	return nil
+}
+
+// Read32 loads a naturally aligned 32-bit word.
+func (m *Memory) Read32(addr uint32) (uint32, error) {
+	var b [4]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Write32 stores a naturally aligned 32-bit word.
+func (m *Memory) Write32(addr uint32, v uint32) error {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return m.Write(addr, b[:])
+}
+
+// Read64 loads a naturally aligned 64-bit doubleword.
+func (m *Memory) Read64(addr uint32) (uint64, error) {
+	lo, err := m.Read32(addr)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.Read32(addr + 4)
+	return uint64(hi)<<32 | uint64(lo), err
+}
+
+// Write64 stores a naturally aligned 64-bit doubleword.
+func (m *Memory) Write64(addr uint32, v uint64) error {
+	if err := m.Write32(addr, uint32(v)); err != nil {
+		return err
+	}
+	return m.Write32(addr+4, uint32(v>>32))
+}
+
+// --- Timing ---------------------------------------------------------------
+
+// FillLine charges the timing of a cache-line fill starting no earlier than
+// cycle now. The target bank serves bursts FIFO; the fill occupies it for
+// MemBurstCycles. It returns the cycle at which the line data is complete.
+func (m *Memory) FillLine(now uint64, addr uint32) uint64 {
+	pb, err := m.bankOf(addr)
+	if err != nil {
+		// Out-of-range timing requests model as a full-latency access
+		// to bank 0; the functional path reports the error.
+		pb = m.live[0]
+	}
+	b := &m.banks[pb]
+	start := now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	b.freeAt = start + uint64(m.cfg.MemBurstCycles)
+	b.busy += uint64(m.cfg.MemBurstCycles)
+	m.LineFills++
+	return b.freeAt
+}
+
+// WriteThrough charges the bank-side cost of a write-through store of size
+// bytes. Stores retire into per-bank write-combining buffers; each
+// accumulated 32-byte block costs the bank half a burst. The traffic
+// competes with line fills for bank occupancy, which is what bounds
+// STREAM's out-of-cache bandwidth. The returned admit cycle is when the
+// store is accepted: normally now, but if the bank's backlog exceeds the
+// finite write-buffer depth (StoreLagCycles) the storing thread is held
+// until the backlog drains.
+func (m *Memory) WriteThrough(now uint64, addr uint32, size int) (admit uint64) {
+	pb, err := m.bankOf(addr)
+	if err != nil {
+		pb = m.live[0]
+	}
+	b := &m.banks[pb]
+	b.wcbBytes += size
+	block := m.cfg.MemBurstBytes / 2 // one 32-byte block
+	for b.wcbBytes >= block {
+		b.wcbBytes -= block
+		start := now
+		if b.freeAt > start {
+			start = b.freeAt
+		}
+		cost := uint64(m.cfg.MemBurstCycles / 2)
+		b.freeAt = start + cost
+		b.busy += cost
+		m.WriteBursts++
+	}
+	admit = now
+	if lag := uint64(m.cfg.StoreLagCycles); b.freeAt > now+lag {
+		admit = b.freeAt - lag
+	}
+	return admit
+}
+
+// BusyCycles returns the total occupied cycles summed over all banks.
+func (m *Memory) BusyCycles() uint64 {
+	var t uint64
+	for i := range m.banks {
+		t += m.banks[i].busy
+	}
+	return t
+}
+
+// ResetTiming clears bank timing state (not contents), for back-to-back
+// experiment runs on one chip.
+func (m *Memory) ResetTiming() {
+	for i := range m.banks {
+		m.banks[i] = bank{}
+	}
+	m.LineFills = 0
+	m.WriteBursts = 0
+}

@@ -1,0 +1,303 @@
+package perf
+
+import "cyclops/internal/isa"
+
+// T is one simulated Cyclops thread: a virtual clock plus the in-order
+// single-issue semantics of a thread unit. All methods must be called
+// from the thread's own body function.
+type T struct {
+	m *Machine
+	// ID is the hardware thread unit; Quad its quad (cache + FPU home).
+	ID, Quad int
+
+	fn     func(*T)
+	resume chan struct{}
+	wakes  []event
+
+	now        uint64
+	run, stall uint64
+}
+
+// Val is a dataflow token: the virtual cycle at which a produced value
+// becomes available to dependent operations. Values themselves live in
+// ordinary Go variables; Val carries only timing.
+type Val struct {
+	ready uint64
+}
+
+// Ready returns the cycle the value is available.
+func (v Val) Ready() uint64 { return v.ready }
+
+// Now returns the thread's virtual clock.
+func (t *T) Now() uint64 { return t.now }
+
+// RunCycles and StallCycles expose the Figure 7 accounting.
+func (t *T) RunCycles() uint64 { return t.run }
+
+// StallCycles returns the cycles lost to dependences, shared-resource
+// contention, memory latency and barrier waits through memory.
+func (t *T) StallCycles() uint64 { return t.stall }
+
+// acquire yields to the engine; on return this thread holds the globally
+// minimal virtual time and may touch shared resources at t.now.
+func (t *T) acquire() {
+	t.m.send(t, msgYield, t.now)
+	<-t.resume
+}
+
+// block parks the thread on a synchronisation object; a peer wakes it.
+func (t *T) block() {
+	t.m.send(t, msgBlock, 0)
+	<-t.resume
+}
+
+// waitVals charges the in-order scoreboard stall until every operand is
+// ready.
+func (t *T) waitVals(vals ...Val) {
+	for _, v := range vals {
+		if v.ready > t.now {
+			t.stall += v.ready - t.now
+			t.now = v.ready
+		}
+	}
+}
+
+// Work advances the clock by n cycles of thread-local computation
+// (integer arithmetic, address generation, loop control): run cycles with
+// no shared-resource interaction.
+func (t *T) Work(n int) {
+	t.now += uint64(n)
+	t.run += uint64(n)
+}
+
+// Stall advances the clock by n cycles counted as stall (used by
+// synthetic workloads; real stalls come from the operations themselves).
+func (t *T) Stall(n int) {
+	t.now += uint64(n)
+	t.stall += uint64(n)
+}
+
+// --- Memory ----------------------------------------------------------------
+
+// load issues one timed load of size bytes.
+func (t *T) load(ea uint32, size int) Val {
+	t.acquire()
+	a := t.m.Chip.Data.Load(t.now, ea, size, t.Quad)
+	t.run++
+	t.now++
+	return Val{ready: a.Done}
+}
+
+// LoadF64 times a double-precision load at effective address ea.
+func (t *T) LoadF64(ea uint32) Val { return t.load(ea, 8) }
+
+// LoadU32 times a word load.
+func (t *T) LoadU32(ea uint32) Val { return t.load(ea, 4) }
+
+// store issues one timed store after its operands are ready.
+func (t *T) store(ea uint32, size int, deps ...Val) {
+	t.waitVals(deps...)
+	t.acquire()
+	a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
+	t.run++
+	t.now++
+	if a.Done > t.now {
+		// Write-buffer backpressure.
+		t.stall += a.Done - t.now
+		t.now = a.Done
+	}
+}
+
+// StoreF64 times a double-precision store of a value produced by deps.
+func (t *T) StoreF64(ea uint32, deps ...Val) { t.store(ea, 8, deps...) }
+
+// StoreU32 times a word store.
+func (t *T) StoreU32(ea uint32, deps ...Val) { t.store(ea, 4, deps...) }
+
+// Atomic times an atomic read-modify-write (amoadd and friends) and
+// returns the old-value token.
+func (t *T) Atomic(ea uint32) Val {
+	t.acquire()
+	a := t.m.Chip.Data.Atomic(t.now, ea, 4, t.Quad)
+	t.run++
+	t.now++
+	return Val{ready: a.Done}
+}
+
+// bulkChunk bounds how many accesses one scheduling point may reserve.
+// Larger chunks cut engine overhead; smaller ones keep same-quad threads
+// interleaving fairly on the shared cache port. 32 accesses is under half
+// a port-busy line fill.
+const bulkChunk = 32
+
+// LoadBlock times n loads of width size at stride bytes starting at ea,
+// yielding to the engine every bulkChunk accesses so contending threads
+// interleave. It returns the token of the last load.
+func (t *T) LoadBlock(ea uint32, n, size, stride int) Val {
+	last := Val{ready: t.now}
+	for i := 0; i < n; i += bulkChunk {
+		c := n - i
+		if c > bulkChunk {
+			c = bulkChunk
+		}
+		t.acquire()
+		for k := 0; k < c; k++ {
+			a := t.m.Chip.Data.Load(t.now, ea+uint32((i+k)*stride), size, t.Quad)
+			t.run++
+			t.now++
+			if a.Done > last.ready {
+				last = Val{ready: a.Done}
+			}
+		}
+	}
+	return last
+}
+
+// StoreBlock times n stores of width size at stride bytes, first waiting
+// for deps, yielding every bulkChunk accesses.
+func (t *T) StoreBlock(ea uint32, n, size, stride int, deps ...Val) {
+	t.waitVals(deps...)
+	for i := 0; i < n; i += bulkChunk {
+		c := n - i
+		if c > bulkChunk {
+			c = bulkChunk
+		}
+		t.acquire()
+		for k := 0; k < c; k++ {
+			a := t.m.Chip.Data.Store(t.now, ea+uint32((i+k)*stride), size, t.Quad)
+			t.run++
+			t.now++
+			if a.Done > t.now {
+				t.stall += a.Done - t.now
+				t.now = a.Done
+			}
+		}
+	}
+}
+
+// LoadGather times loads from arbitrary effective addresses, yielding
+// every bulkChunk accesses, and returns the latest-completing token.
+func (t *T) LoadGather(eas []uint32, size int) Val {
+	last := Val{ready: t.now}
+	for i := 0; i < len(eas); i += bulkChunk {
+		c := len(eas) - i
+		if c > bulkChunk {
+			c = bulkChunk
+		}
+		t.acquire()
+		for _, ea := range eas[i : i+c] {
+			a := t.m.Chip.Data.Load(t.now, ea, size, t.Quad)
+			t.run++
+			t.now++
+			if a.Done > last.ready {
+				last = Val{ready: a.Done}
+			}
+		}
+	}
+	return last
+}
+
+// StoreScatter times stores to arbitrary effective addresses (the radix
+// permute pattern), yielding every bulkChunk accesses.
+func (t *T) StoreScatter(eas []uint32, size int, deps ...Val) {
+	t.waitVals(deps...)
+	for i := 0; i < len(eas); i += bulkChunk {
+		c := len(eas) - i
+		if c > bulkChunk {
+			c = bulkChunk
+		}
+		t.acquire()
+		for _, ea := range eas[i : i+c] {
+			a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
+			t.run++
+			t.now++
+			if a.Done > t.now {
+				t.stall += a.Done - t.now
+				t.now = a.Done
+			}
+		}
+	}
+}
+
+// --- Floating point ---------------------------------------------------------
+
+// fp dispatches one FP operation to the quad's shared FPU.
+func (t *T) fp(pipe isa.FPUPipe, exec, extra int, ops ...Val) Val {
+	t.waitVals(ops...)
+	t.acquire()
+	fpu := t.m.Chip.FPUs[t.Quad]
+	start := fpu.Dispatch(t.now, pipe, exec)
+	if start > t.now {
+		t.stall += start - t.now
+		t.now = start
+	}
+	t.run++
+	t.now++
+	return Val{ready: start + uint64(exec+extra)}
+}
+
+// FAdd times a double-precision addition (or subtraction, negation,
+// comparison — anything on the adder pipe).
+func (t *T) FAdd(ops ...Val) Val {
+	l := &t.m.Chip.Cfg.Latencies
+	return t.fp(isa.PipeAdd, l.FPExec, l.FPLatency, ops...)
+}
+
+// FMul times a double-precision multiplication.
+func (t *T) FMul(ops ...Val) Val {
+	l := &t.m.Chip.Cfg.Latencies
+	return t.fp(isa.PipeMul, l.FPExec, l.FPLatency, ops...)
+}
+
+// FMA times a fused multiply-add (both pipes, 9-cycle latency).
+func (t *T) FMA(ops ...Val) Val {
+	l := &t.m.Chip.Cfg.Latencies
+	return t.fp(isa.PipeBoth, l.FMAExec, l.FMALatency, ops...)
+}
+
+// FDiv times a double-precision division on the non-pipelined unit.
+func (t *T) FDiv(ops ...Val) Val {
+	l := &t.m.Chip.Cfg.Latencies
+	return t.fp(isa.PipeDiv, l.FPDivExec, 0, ops...)
+}
+
+// FSqrt times a double-precision square root.
+func (t *T) FSqrt(ops ...Val) Val {
+	l := &t.m.Chip.Cfg.Latencies
+	return t.fp(isa.PipeDiv, l.FPSqrtExec, 0, ops...)
+}
+
+// FPBlock times n independent pipelined operations on pipe (bulk
+// arithmetic such as an n-body interaction list), yielding every
+// bulkChunk operations, and returns the last result token.
+func (t *T) FPBlock(pipe isa.FPUPipe, n int, ops ...Val) Val {
+	if n <= 0 {
+		return Val{ready: t.now}
+	}
+	t.waitVals(ops...)
+	l := &t.m.Chip.Cfg.Latencies
+	fpu := t.m.Chip.FPUs[t.Quad]
+	exec, extra := l.FPExec, l.FPLatency
+	if pipe == isa.PipeBoth {
+		exec, extra = l.FMAExec, l.FMALatency
+	}
+	last := Val{ready: t.now}
+	for i := 0; i < n; i += bulkChunk {
+		c := n - i
+		if c > bulkChunk {
+			c = bulkChunk
+		}
+		t.acquire()
+		for k := 0; k < c; k++ {
+			start := fpu.Dispatch(t.now, pipe, exec)
+			if start > t.now {
+				t.stall += start - t.now
+				t.now = start
+			}
+			t.run++
+			t.now++
+			last = Val{ready: start + uint64(exec+extra)}
+		}
+	}
+	return last
+}

@@ -1,0 +1,144 @@
+package ray
+
+import (
+	"math"
+	"testing"
+
+	"cyclops/internal/splash"
+)
+
+func cfg(threads int) splash.Config { return splash.Config{Threads: threads} }
+
+func TestRenderProducesImage(t *testing.T) {
+	_, img, err := Render(Opts{Config: cfg(4), Width: 32, Height: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 32*24 {
+		t.Fatalf("image has %d pixels", len(img))
+	}
+	// Pixels are finite, non-negative and not all identical.
+	first := img[0]
+	varied := false
+	for _, p := range img {
+		for _, c := range []float64{p.X, p.Y, p.Z} {
+			if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+				t.Fatalf("bad pixel component %v", c)
+			}
+		}
+		if p != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("image is a flat color")
+	}
+}
+
+func TestRenderThreadInvariance(t *testing.T) {
+	_, a, err := Render(Opts{Config: cfg(1), Width: 24, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Render(Opts{Config: cfg(7), Width: 24, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(a) != Checksum(b) {
+		t.Error("image depends on thread count")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r1, img1, err := Render(Opts{Config: cfg(8), Width: 24, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, img2, err := Render(Opts{Config: cfg(8), Width: 24, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(img1) != Checksum(img2) || r1.Cycles != r2.Cycles {
+		t.Error("repeat renders differ")
+	}
+}
+
+func TestShadowsDarken(t *testing.T) {
+	// With the light far above, the floor under a sphere must be darker
+	// than open floor. Compare a pixel straight below a known sphere to
+	// a far-corner floor pixel using a single-sphere scene through the
+	// full pipeline: simply check that the image has meaningful dynamic
+	// range (shadows + highlights).
+	_, img, err := Render(Opts{Config: cfg(4), Width: 48, Height: 32, Spheres: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range img {
+		l := p.X + p.Y + p.Z
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, l)
+	}
+	if hi-lo < 0.5 {
+		t.Errorf("dynamic range %.2f too small: no shadows or highlights", hi-lo)
+	}
+}
+
+func TestReflectionDepthMatters(t *testing.T) {
+	_, shallow, err := Render(Opts{Config: cfg(2), Width: 24, Height: 16, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, deep, err := Render(Opts{Config: cfg(2), Width: 24, Height: 16, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(shallow) == Checksum(deep) {
+		t.Error("reflection depth has no effect: reflective surfaces missing")
+	}
+}
+
+func TestRenderScales(t *testing.T) {
+	base, _, err := Render(Opts{Config: cfg(1), Width: 48, Height: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rays are independent: balanced placement should scale near the
+	// quad count.
+	par, _, err := Render(Opts{Config: splash.Config{Threads: 16, Balanced: true}, Width: 48, Height: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := par.Speedup(base); s < 8 {
+		t.Errorf("16-thread balanced render speedup = %.2f, want > 8", s)
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if _, _, err := Render(Opts{Config: cfg(1), Width: 0, Height: 10}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, _, err := Render(Opts{Config: cfg(64), Width: 8, Height: 8}); err == nil {
+		t.Error("more threads than scanlines accepted")
+	}
+	if _, _, err := Render(Opts{Config: cfg(0), Width: 8, Height: 8}); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	a := Vec{1, 2, 3}
+	if a.Add(a) != (Vec{2, 4, 6}) || a.Sub(a) != (Vec{}) {
+		t.Error("add/sub broken")
+	}
+	if a.Dot(Vec{1, 1, 1}) != 6 {
+		t.Error("dot broken")
+	}
+	n := Vec{3, 0, 4}.Norm()
+	if math.Abs(n.Dot(n)-1) > 1e-12 {
+		t.Error("norm broken")
+	}
+	if (Vec{}).Norm() != (Vec{}) {
+		t.Error("zero norm broken")
+	}
+}

@@ -1,0 +1,60 @@
+// Package refdata holds the external reference series the paper compares
+// against. The paper itself uses *published* STREAM results for the SGI
+// Origin 3800/400 (Figure 6b) rather than simulating one; we do the same.
+// The series below are digitized from Figure 6(b) of the paper — they are
+// comparison background, not measurements of this simulator.
+package refdata
+
+// OriginPoint is one published SGI Origin 3800/400 STREAM measurement
+// (vector length 5,000,000 elements per processor).
+type OriginPoint struct {
+	Processors int
+	// GBps per kernel, in the paper's plotting order.
+	Copy, Scale, Add, Triad float64
+}
+
+// Origin3800 is the Figure 6(b) reference series: sustained bandwidth
+// grows near-linearly with processor count up to ~45 GB/s at 128 CPUs,
+// with Add/Triad slightly ahead of Copy and Scale trailing.
+var Origin3800 = []OriginPoint{
+	{Processors: 2, Copy: 0.8, Scale: 0.7, Add: 0.9, Triad: 0.9},
+	{Processors: 4, Copy: 1.6, Scale: 1.4, Add: 1.8, Triad: 1.8},
+	{Processors: 8, Copy: 3.1, Scale: 2.8, Add: 3.5, Triad: 3.6},
+	{Processors: 16, Copy: 6.2, Scale: 5.5, Add: 7.0, Triad: 7.1},
+	{Processors: 32, Copy: 12.0, Scale: 10.8, Add: 13.7, Triad: 13.9},
+	{Processors: 64, Copy: 23.0, Scale: 20.5, Add: 26.5, Triad: 27.0},
+	{Processors: 96, Copy: 33.5, Scale: 30.0, Add: 38.5, Triad: 39.5},
+	{Processors: 128, Copy: 42.0, Scale: 37.5, Add: 48.0, Triad: 49.0},
+}
+
+// PaperTargets records the headline numbers the paper reports, used by
+// EXPERIMENTS.md and by shape-checking tests.
+var PaperTargets = struct {
+	// SustainedMemGBps is the out-of-cache STREAM plateau (Section 1:
+	// "sustainable memory bandwidth of 40 GB/s, equal to the peak").
+	SustainedMemGBps float64
+	// InCacheGBps is the small-vector bandwidth ("above 80 GB/s").
+	InCacheGBps float64
+	// FFT256BarrierGainPct is the total-cycle improvement of hardware
+	// barriers on the 256-point FFT at 16 threads ("about 10%").
+	FFT256BarrierGainPct float64
+	// FFT64KBarrierGainPct is the same for the 64K-point FFT at 64
+	// threads ("about 5%").
+	FFT64KBarrierGainPct float64
+	// AggregateRatioLow/High bound the 126-thread independent STREAM
+	// aggregate relative to single-threaded (Section 3.2.1: "112 to
+	// 120 times larger").
+	AggregateRatioLow, AggregateRatioHigh float64
+	// LocalCacheSmallGainPct and LocalCacheScaleGainPct are the
+	// Section 3.2.2 improvements from local-cache placement.
+	LocalCacheSmallGainPct, LocalCacheScaleGainPct float64
+}{
+	SustainedMemGBps:       40,
+	InCacheGBps:            80,
+	FFT256BarrierGainPct:   10,
+	FFT64KBarrierGainPct:   5,
+	AggregateRatioLow:      112,
+	AggregateRatioHigh:     120,
+	LocalCacheSmallGainPct: 60,
+	LocalCacheScaleGainPct: 30,
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/internal/asm"
+)
+
+func TestSPRReads(t *testing.T) {
+	src := `
+	mfspr r8, 0		; tid
+	mfspr r9, 1		; nthreads
+	mfspr r10, 3		; cycle hi
+	mfspr r11, 5		; memsize
+	mfspr r12, 6		; quad
+	la   r20, out
+	sw   r8, 0(r20)
+	sw   r9, 4(r20)
+	sw   r10, 8(r20)
+	sw   r11, 12(r20)
+	sw   r12, 16(r20)
+	sync
+	halt
+out:	.space 20
+	`
+	m := run(t, src)
+	p, _ := asm.Assemble(src)
+	o := p.Symbols["out"]
+	if v := word(t, m, o); v != 2 {
+		t.Errorf("tid = %d, want 2", v)
+	}
+	if v := word(t, m, o+4); v != 128 {
+		t.Errorf("nthreads = %d", v)
+	}
+	if v := word(t, m, o+8); v != 0 {
+		t.Errorf("cycle hi = %d early in a run", v)
+	}
+	if v := word(t, m, o+12); v != 8<<20 {
+		t.Errorf("memsize = %d, want 8 MB", v)
+	}
+	if v := word(t, m, o+16); v != 0 {
+		t.Errorf("quad of thread 2 = %d, want 0", v)
+	}
+	// Unknown SPR traps.
+	if _, err := tryRun("mfspr r8, 7\nhalt"); err == nil {
+		t.Error("mfspr of undefined SPR succeeded")
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	src := `
+_start:	li   r8, 5
+	call double
+	call double
+	la   r20, out
+	sw   r8, 0(r20)
+	halt
+double:	add  r8, r8, r8
+	ret
+out:	.word 0
+	`
+	m := run(t, src)
+	p, _ := asm.Assemble(src)
+	if v := word(t, m, p.Symbols["out"]); v != 20 {
+		t.Errorf("double twice = %d, want 20", v)
+	}
+}
+
+func TestJalrComputedTarget(t *testing.T) {
+	src := `
+	la   r8, target
+	jalr r9, 0(r8)
+	halt			; skipped
+target:	la   r20, out
+	sw   r9, 0(r20)		; link = address after jalr
+	halt
+out:	.word 0
+	`
+	m := run(t, src)
+	p, _ := asm.Assemble(src)
+	link := word(t, m, p.Symbols["out"])
+	// jalr is the program's third word (after the 2-word la).
+	if link != p.Origin+12 {
+		t.Errorf("link = %#x, want %#x", link, p.Origin+12)
+	}
+	// Unaligned indirect targets trap.
+	if _, err := tryRun("li r8, 2\njalr r9, 0(r8)"); err == nil ||
+		!strings.Contains(err.Error(), "unaligned") {
+		t.Errorf("unaligned jalr: %v", err)
+	}
+}
+
+func TestAllBranchConditions(t *testing.T) {
+	// Each branch both taken and not taken; result accumulates a bitmask
+	// of taken branches.
+	src := `
+	li   r8, 1
+	li   r9, 2
+	li   r10, -1
+	li   r20, 0
+	beq  r8, r8, t0
+	b    n0
+t0:	ori  r20, r20, 1
+n0:	bne  r8, r9, t1
+	b    n1
+t1:	ori  r20, r20, 2
+n1:	blt  r10, r8, t2	; signed: -1 < 1
+	b    n2
+t2:	ori  r20, r20, 4
+n2:	bge  r8, r9, t3		; not taken
+	b    n3
+t3:	ori  r20, r20, 8
+n3:	bltu r8, r10, t4	; unsigned: 1 < 0xffffffff
+	b    n4
+t4:	ori  r20, r20, 16
+n4:	bgeu r10, r8, t5	; unsigned: 0xffffffff >= 1
+	b    n5
+t5:	ori  r20, r20, 32
+n5:	la   r21, out
+	sw   r20, 0(r21)
+	halt
+out:	.word 0
+	`
+	m := run(t, src)
+	p, _ := asm.Assemble(src)
+	if v := word(t, m, p.Symbols["out"]); v != 1|2|4|16|32 {
+		t.Errorf("branch mask = %#b, want 0b110111", v)
+	}
+}
+
+func TestFPRemainingOps(t *testing.T) {
+	src := `
+	la   r8, in
+	ld   d16, 0(r8)		; -2.5
+	fneg d18, d16		; 2.5
+	fabs d20, d16		; 2.5
+	fmov d22, d18
+	fms  d24, d18, d20, d22	; 2.5*2.5 - 2.5 = 3.75
+	fceq r9, d18, d20	; 1
+	fcle r10, d16, d18	; 1
+	fcle r11, d18, d16	; 0
+	la   r12, out
+	sd   d24, 0(r12)
+	sw   r9, 8(r12)
+	sw   r10, 12(r12)
+	sw   r11, 16(r12)
+	halt
+	.align 8
+in:	.double -2.5
+out:	.space 24
+	`
+	m := run(t, src)
+	p, _ := asm.Assemble(src)
+	o := p.Symbols["out"]
+	bits, _ := m.Chip.Mem.Read64(o)
+	if f := mathFloat64frombits(bits); f != 3.75 {
+		t.Errorf("fms = %v, want 3.75", f)
+	}
+	if word(t, m, o+8) != 1 || word(t, m, o+12) != 1 || word(t, m, o+16) != 0 {
+		t.Error("fp compares wrong")
+	}
+}
+
+func TestRunningThreadsAndTotals(t *testing.T) {
+	m, err := tryRun("li r8, 1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RunningThreads() != 0 {
+		t.Errorf("RunningThreads after halt = %d", m.RunningThreads())
+	}
+	if m.TotalInsts() < 2 {
+		t.Errorf("TotalInsts = %d", m.TotalInsts())
+	}
+	if m.Cycle() == 0 {
+		t.Error("Cycle() = 0 after a run")
+	}
+}
+
+func TestPIBCrossingLoop(t *testing.T) {
+	// A loop longer than the 16-instruction PIB refills every iteration,
+	// paying fetch bubbles; a tight loop does not.
+	long := "loop:\n" + strings.Repeat("\tadd r8, r8, r9\n", 20) +
+		"\taddi r10, r10, -1\n\tbne r10, r0, loop\n\thalt"
+	short := "loop:\n" + strings.Repeat("\tadd r8, r8, r9\n", 4) +
+		"\taddi r10, r10, -1\n\tbne r10, r0, loop\n\thalt"
+	prep := "\tli r10, 200\n"
+	mLong := run(t, prep+long)
+	mShort := run(t, prep+short)
+	perInstLong := float64(mLong.TUs[2].StallCycles) / float64(mLong.TUs[2].Insts)
+	perInstShort := float64(mShort.TUs[2].StallCycles) / float64(mShort.TUs[2].Insts)
+	if perInstLong <= perInstShort {
+		t.Errorf("PIB-crossing loop stalls %.3f/inst, tight loop %.3f/inst; expected more",
+			perInstLong, perInstShort)
+	}
+}
+
+func TestSetRegIgnoresR0(t *testing.T) {
+	m := run(t, `
+	li  r8, 7
+	add r0, r8, r8		; write to the zero register
+	la  r20, out
+	sw  r0, 0(r20)
+	halt
+out:	.word 1
+	`)
+	p, _ := asm.Assemble("nop\nout:.word 1")
+	_ = p
+	pp, _ := asm.Assemble(`
+	li  r8, 7
+	add r0, r8, r8
+	la  r20, out
+	sw  r0, 0(r20)
+	halt
+out:	.word 1
+	`)
+	if v := word(t, m, pp.Symbols["out"]); v != 0 {
+		t.Errorf("r0 = %d after write, want 0", v)
+	}
+}

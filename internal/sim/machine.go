@@ -1,0 +1,224 @@
+// Package sim is the architecturally accurate instruction-level simulator
+// of the Cyclops chip (Section 3.1 of the paper): it executes Cyclops
+// instructions, modeling resource contention between instructions — the
+// quad-shared FPU pipes, the cache ports, the memory banks — and charges
+// the Table 2 execution and latency cycles.
+//
+// Each thread unit is a simple single-issue in-order processor with a
+// register scoreboard: an instruction issues when its source operands are
+// ready and its shared resource is granted; completion may be out of
+// order. If two threads contend for a shared resource in the same cycle,
+// the winner rotates round-robin to prevent starvation (Section 2).
+package sim
+
+import (
+	"fmt"
+
+	"cyclops/internal/core"
+)
+
+// State is a thread unit's scheduling state.
+type State uint8
+
+const (
+	// Idle: the unit has not been started.
+	Idle State = iota
+	// Running: the unit is executing instructions.
+	Running
+	// Halted: the unit executed halt (or its software thread exited).
+	Halted
+)
+
+// TU is one thread unit: 64 single-precision registers (pairable for
+// double precision), a program counter and a sequencer.
+type TU struct {
+	ID   int
+	Quad int
+
+	Regs  [64]uint32
+	PC    uint32
+	State State
+
+	// ready[r] is the cycle at which register r's value is available.
+	ready [64]uint64
+	// nextAt is the next cycle the unit will attempt to issue.
+	nextAt uint64
+
+	pib pibState
+
+	// RunCycles counts cycles spent busy computing; StallCycles counts
+	// cycles stalled on dependences, shared resources or fetch — the
+	// quantities Figure 7 reports.
+	RunCycles, StallCycles uint64
+	// StartCycle and EndCycle bound the unit's active lifetime.
+	StartCycle, EndCycle uint64
+	// Insts counts issued instructions.
+	Insts uint64
+}
+
+// pibState wraps the per-thread prefetch instruction buffer.
+type pibState struct {
+	base  uint32
+	words uint32
+}
+
+const pibEmpty = ^uint32(0)
+
+func (p *pibState) contains(addr uint32) bool {
+	return p.base != pibEmpty && addr >= p.base && addr < p.base+p.words
+}
+
+// FRegOK reports whether r can name a double-precision pair.
+func FRegOK(r uint8) bool { return r%2 == 0 && r < 63 }
+
+// Syscaller handles syscall instructions. The kernel package implements
+// it; sim stays independent of kernel policy.
+type Syscaller interface {
+	// Syscall is invoked when tu executes a syscall instruction at
+	// m.Cycle(). The handler may read and write tu's registers and the
+	// machine's memory, start threads, or halt tu.
+	Syscall(m *Machine, tu *TU) SysResult
+}
+
+// SysResult tells the engine how to resume after a syscall.
+type SysResult struct {
+	// Cost is the cycles the syscall occupies the thread (min 1).
+	Cost uint64
+	// Retry re-executes the same syscall after Cost cycles without
+	// advancing the PC (used for blocking calls such as join).
+	Retry bool
+	// Halt stops the thread.
+	Halt bool
+}
+
+// Machine drives a chip cycle by cycle.
+type Machine struct {
+	Chip   *core.Chip
+	TUs    []*TU
+	Kernel Syscaller
+
+	cycle  uint64
+	active []*TU
+	rr     int
+
+	// MaxCycles aborts runaway programs; 0 means no limit.
+	MaxCycles uint64
+
+	// Trace, when non-nil, records every issued instruction (see
+	// TraceBuffer); it costs a few percent of simulation speed.
+	Trace *TraceBuffer
+
+	trap error
+}
+
+// New builds a machine over a chip. Kernel may be nil for programs that
+// make no syscalls.
+func New(chip *core.Chip, kernel Syscaller) *Machine {
+	m := &Machine{Chip: chip, Kernel: kernel}
+	pibWords := uint32(chip.Cfg.PIBEntries * 4)
+	for i := 0; i < chip.Cfg.Threads; i++ {
+		m.TUs = append(m.TUs, &TU{
+			ID:   i,
+			Quad: chip.Cfg.QuadOf(i),
+			pib:  pibState{base: pibEmpty, words: pibWords},
+		})
+	}
+	return m
+}
+
+// Cycle returns the current simulation cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Start begins execution of thread unit tid at pc, from the current cycle.
+// It returns an error if the unit is unusable (disabled quad) or already
+// running.
+func (m *Machine) Start(tid int, pc uint32) error {
+	if tid < 0 || tid >= len(m.TUs) {
+		return fmt.Errorf("sim: no thread unit %d", tid)
+	}
+	if !m.Chip.ThreadUsable(tid) {
+		return fmt.Errorf("sim: thread unit %d is in a disabled quad", tid)
+	}
+	tu := m.TUs[tid]
+	if tu.State == Running {
+		return fmt.Errorf("sim: thread unit %d already running", tid)
+	}
+	tu.State = Running
+	tu.PC = pc
+	tu.nextAt = m.cycle
+	tu.StartCycle = m.cycle
+	tu.pib.base = pibEmpty
+	for r := range tu.ready {
+		tu.ready[r] = 0
+	}
+	m.active = append(m.active, tu)
+	return nil
+}
+
+// Trap aborts the run with a diagnostic (used by the kernel for fatal
+// software conditions as well as by the engine for hardware traps).
+func (m *Machine) Trap(format string, args ...interface{}) {
+	if m.trap == nil {
+		m.trap = fmt.Errorf(format, args...)
+	}
+}
+
+// Run executes until every started thread halts, a trap fires, or the
+// cycle limit is hit. It returns the first trap, if any.
+func (m *Machine) Run() error {
+	for len(m.active) > 0 && m.trap == nil {
+		// Advance to the earliest pending issue cycle.
+		next := m.active[0].nextAt
+		for _, tu := range m.active[1:] {
+			if tu.nextAt < next {
+				next = tu.nextAt
+			}
+		}
+		m.cycle = next
+		if m.MaxCycles > 0 && m.cycle > m.MaxCycles {
+			return fmt.Errorf("sim: cycle limit %d exceeded", m.MaxCycles)
+		}
+		// Issue every unit scheduled for this cycle, rotating the
+		// starting position for round-robin fairness on ties.
+		n := len(m.active)
+		m.rr++
+		for i := 0; i < n; i++ {
+			tu := m.active[(i+m.rr)%n]
+			if tu.nextAt == m.cycle && tu.State == Running {
+				m.step(tu)
+				if m.trap != nil {
+					break
+				}
+			}
+		}
+		// Compact halted units out of the active list.
+		live := m.active[:0]
+		for _, tu := range m.active {
+			if tu.State == Running {
+				live = append(live, tu)
+			} else {
+				tu.EndCycle = m.cycle
+			}
+		}
+		m.active = live
+	}
+	return m.trap
+}
+
+// RunningThreads returns the number of currently active units.
+func (m *Machine) RunningThreads() int { return len(m.active) }
+
+// halt stops tu; the engine removes it from the active list after the
+// current cycle.
+func (m *Machine) halt(tu *TU) {
+	tu.State = Halted
+}
+
+// TotalInsts sums issued instructions over all units.
+func (m *Machine) TotalInsts() uint64 {
+	var n uint64
+	for _, tu := range m.TUs {
+		n += tu.Insts
+	}
+	return n
+}

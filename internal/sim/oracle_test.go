@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/asm"
+	"cyclops/internal/core"
+)
+
+// Property test: random straight-line integer programs executed by the
+// simulator must match a direct Go evaluation of the same operations.
+
+type aluOp struct {
+	mnem string
+	eval func(b, c uint32) uint32
+	imm  bool // immediate form: c is the immediate
+}
+
+func aluOps() []aluOp {
+	return []aluOp{
+		{"add", func(b, c uint32) uint32 { return b + c }, false},
+		{"sub", func(b, c uint32) uint32 { return b - c }, false},
+		{"and", func(b, c uint32) uint32 { return b & c }, false},
+		{"or", func(b, c uint32) uint32 { return b | c }, false},
+		{"xor", func(b, c uint32) uint32 { return b ^ c }, false},
+		{"nor", func(b, c uint32) uint32 { return ^(b | c) }, false},
+		{"sll", func(b, c uint32) uint32 { return b << (c & 31) }, false},
+		{"srl", func(b, c uint32) uint32 { return b >> (c & 31) }, false},
+		{"sra", func(b, c uint32) uint32 { return uint32(int32(b) >> (c & 31)) }, false},
+		{"slt", func(b, c uint32) uint32 { return boolBit(int32(b) < int32(c)) }, false},
+		{"sltu", func(b, c uint32) uint32 { return boolBit(b < c) }, false},
+		{"mul", func(b, c uint32) uint32 { return uint32(int32(b) * int32(c)) }, false},
+		{"addi", func(b, c uint32) uint32 { return b + c }, true},
+		{"andi", func(b, c uint32) uint32 { return b & c }, true},
+		{"ori", func(b, c uint32) uint32 { return b | c }, true},
+		{"xori", func(b, c uint32) uint32 { return b ^ c }, true},
+		{"slli", func(b, c uint32) uint32 { return b << (c & 31) }, true},
+		{"srli", func(b, c uint32) uint32 { return b >> (c & 31) }, true},
+		{"srai", func(b, c uint32) uint32 { return uint32(int32(b) >> (c & 31)) }, true},
+	}
+}
+
+func TestALUAgainstGoOracle(t *testing.T) {
+	ops := aluOps()
+	for trial := 0; trial < 30; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		// Oracle register file: r8..r23 hold working values.
+		regs := make([]uint32, 24)
+		var src strings.Builder
+		for i := 8; i < 24; i++ {
+			v := r.Uint32() >> uint(r.Intn(20)) // mixed magnitudes
+			regs[i] = v
+			fmt.Fprintf(&src, "\tli r%d, %d\n", i, int64(v))
+		}
+		for k := 0; k < 60; k++ {
+			op := ops[r.Intn(len(ops))]
+			rd := 8 + r.Intn(16)
+			rb := 8 + r.Intn(16)
+			if op.imm {
+				var imm int32
+				if op.mnem == "slli" || op.mnem == "srli" || op.mnem == "srai" {
+					imm = int32(r.Intn(32))
+				} else if op.mnem == "addi" {
+					imm = int32(r.Intn(8192)) - 4096
+				} else {
+					imm = int32(r.Intn(8192)) // logical: unsigned 13-bit
+				}
+				fmt.Fprintf(&src, "\t%s r%d, r%d, %d\n", op.mnem, rd, rb, imm)
+				regs[rd] = op.eval(regs[rb], uint32(imm))
+			} else {
+				rc := 8 + r.Intn(16)
+				fmt.Fprintf(&src, "\t%s r%d, r%d, r%d\n", op.mnem, rd, rb, rc)
+				regs[rd] = op.eval(regs[rb], regs[rc])
+			}
+		}
+		// Dump the working registers.
+		src.WriteString("\tla r30, out\n")
+		for i := 8; i < 24; i++ {
+			fmt.Fprintf(&src, "\tsw r%d, %d(r30)\n", i, 4*(i-8))
+		}
+		src.WriteString("\thalt\nout:\t.space 64\n")
+
+		p, err := asm.Assemble(src.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src.String())
+		}
+		chip := core.MustNew(arch.Default())
+		m := New(chip, nil)
+		m.MaxCycles = 1_000_000
+		chip.LoadImage(p.Origin, p.Bytes)
+		m.Start(2, p.Entry)
+		if err := m.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		out := p.Symbols["out"]
+		for i := 8; i < 24; i++ {
+			got, err := chip.Mem.Read32(out + uint32(4*(i-8)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != regs[i] {
+				t.Fatalf("trial %d: r%d = %#x, oracle %#x\n%s", trial, i, got, regs[i], src.String())
+			}
+		}
+	}
+}
+
+// The immediate forms must agree with their register forms.
+func TestImmediateFormsMatchRegisterForms(t *testing.T) {
+	pairs := [][2]string{
+		{"add", "addi"}, {"and", "andi"}, {"or", "ori"}, {"xor", "xori"},
+		{"sll", "slli"}, {"srl", "srli"}, {"sra", "srai"},
+	}
+	for _, pair := range pairs {
+		src := fmt.Sprintf(`
+	li   r8, 0x1234
+	li   r9, 7
+	%s   r10, r8, r9
+	%s   r11, r8, 7
+	la   r12, out
+	sw   r10, 0(r12)
+	sw   r11, 4(r12)
+	halt
+out:	.space 8
+	`, pair[0], pair[1])
+		m, err := tryRun(src)
+		if err != nil {
+			t.Fatalf("%v: %v", pair, err)
+		}
+		p, _ := asm.Assemble(src)
+		a, _ := m.Chip.Mem.Read32(p.Symbols["out"])
+		b, _ := m.Chip.Mem.Read32(p.Symbols["out"] + 4)
+		if a != b {
+			t.Errorf("%s/%s disagree: %#x vs %#x", pair[0], pair[1], a, b)
+		}
+	}
+}

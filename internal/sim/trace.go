@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclops/internal/isa"
+)
+
+// TraceEntry records one issued instruction.
+type TraceEntry struct {
+	Cycle uint64
+	TID   int
+	PC    uint32
+	Word  uint32
+}
+
+// String renders the entry with disassembly.
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("%10d  t%03d  %06x  %s", e.Cycle, e.TID, e.PC, isa.Decode(e.Word))
+}
+
+// TraceBuffer is a fixed-capacity ring of the most recent issues — the
+// first tool to reach for when a program traps or hangs on the simulator.
+type TraceBuffer struct {
+	entries []TraceEntry
+	next    int
+	full    bool
+	// Filter restricts recording to one thread unit when >= 0.
+	Filter int
+}
+
+// NewTraceBuffer holds the last n issues.
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceBuffer{entries: make([]TraceEntry, n), Filter: -1}
+}
+
+// record appends an entry, overwriting the oldest.
+func (tb *TraceBuffer) record(e TraceEntry) {
+	if tb.Filter >= 0 && e.TID != tb.Filter {
+		return
+	}
+	tb.entries[tb.next] = e
+	tb.next++
+	if tb.next == len(tb.entries) {
+		tb.next = 0
+		tb.full = true
+	}
+}
+
+// Entries returns the recorded issues, oldest first.
+func (tb *TraceBuffer) Entries() []TraceEntry {
+	if !tb.full {
+		return append([]TraceEntry(nil), tb.entries[:tb.next]...)
+	}
+	out := make([]TraceEntry, 0, len(tb.entries))
+	out = append(out, tb.entries[tb.next:]...)
+	out = append(out, tb.entries[:tb.next]...)
+	return out
+}
+
+// Len reports how many entries are held.
+func (tb *TraceBuffer) Len() int {
+	if tb.full {
+		return len(tb.entries)
+	}
+	return tb.next
+}
+
+// Dump renders the buffer, oldest first.
+func (tb *TraceBuffer) Dump() string {
+	var sb strings.Builder
+	sb.WriteString("     cycle  unit      pc  instruction\n")
+	for _, e := range tb.Entries() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

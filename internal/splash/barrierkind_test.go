@@ -1,0 +1,95 @@
+package splash
+
+import (
+	"sort"
+	"testing"
+)
+
+// The barrier implementation changes timing, never results: every kernel
+// must produce identical output under HW and SW barriers.
+
+func TestBarrierKindDoesNotChangeLU(t *testing.T) {
+	const n = 48
+	a1 := DominantMatrix(n)
+	a2 := DominantMatrix(n)
+	if _, err := RunLU(LUOpts{Config: Config{Threads: 5, Barrier: HW}, N: n, A: a1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLU(LUOpts{Config: Config{Threads: 5, Barrier: SW}, N: n, A: a2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("factors differ at %d", i)
+		}
+	}
+}
+
+func TestBarrierKindDoesNotChangeRadix(t *testing.T) {
+	k1 := RandomKeys(5000, 11)
+	k2 := RandomKeys(5000, 11)
+	if _, err := RunRadix(RadixOpts{Config: Config{Threads: 6, Barrier: HW}, N: len(k1), Keys: k1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunRadix(RadixOpts{Config: Config{Threads: 6, Barrier: SW}, N: len(k2), Keys: k2}); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(k2, func(i, j int) bool { return k2[i] < k2[j] }) {
+		t.Fatal("sw-barrier sort not sorted")
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("keys differ at %d", i)
+		}
+	}
+}
+
+func TestBarrierKindDoesNotChangeOcean(t *testing.T) {
+	const n = 24
+	g1 := OceanGrid(n)
+	g2 := OceanGrid(n)
+	if _, err := RunOcean(OceanOpts{Config: Config{Threads: 4, Barrier: HW}, N: n, Iters: 6, Grid: g1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOcean(OceanOpts{Config: Config{Threads: 4, Barrier: SW}, N: n, Iters: 6, Grid: g2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("grids differ at %d", i)
+		}
+	}
+}
+
+// SW barriers cost more: every kernel's total cycles must not improve
+// when switching from HW to SW.
+func TestSWBarrierNeverFaster(t *testing.T) {
+	type runner func(kind BarrierKind) (*Result, error)
+	cases := []struct {
+		name string
+		run  runner
+	}{
+		{"FFT", func(k BarrierKind) (*Result, error) {
+			return RunFFT(FFTOpts{Config: Config{Threads: 16, Barrier: k}, N: 1024})
+		}},
+		{"LU", func(k BarrierKind) (*Result, error) {
+			return RunLU(LUOpts{Config: Config{Threads: 16, Barrier: k}, N: 96, Block: 16})
+		}},
+		{"Ocean", func(k BarrierKind) (*Result, error) {
+			return RunOcean(OceanOpts{Config: Config{Threads: 16, Barrier: k}, N: 64, Iters: 4})
+		}},
+	}
+	for _, c := range cases {
+		hw, err := c.run(HW)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		sw, err := c.run(SW)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if sw.Cycles < hw.Cycles {
+			t.Errorf("%s: sw barriers (%d cycles) beat hw (%d)", c.name, sw.Cycles, hw.Cycles)
+		}
+	}
+}

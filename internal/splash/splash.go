@@ -1,0 +1,138 @@
+// Package splash implements the SPLASH-2 kernels the paper evaluates
+// (Figure 3: Barnes, FFT, FMM, LU, Ocean, Radix; Figure 7: FFT with
+// hardware vs software barriers) against the direct-execution timing
+// runtime of internal/perf.
+//
+// Each kernel computes real results on native Go data — verified by unit
+// and property tests — while charging every load, store, floating-point
+// operation and barrier through the simulated Cyclops chip, so speedup
+// curves and run/stall breakdowns come from the same memory system and
+// FPU model as the instruction-level simulator.
+package splash
+
+import (
+	"fmt"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/core"
+	"cyclops/internal/perf"
+)
+
+// BarrierKind selects the synchronisation implementation (Section 3.3).
+type BarrierKind int
+
+const (
+	// HW uses the wired-OR SPR barrier.
+	HW BarrierKind = iota
+	// SW uses the tree-over-memory software barrier.
+	SW
+)
+
+func (k BarrierKind) String() string {
+	if k == SW {
+		return "sw"
+	}
+	return "hw"
+}
+
+// Result reports one kernel execution.
+type Result struct {
+	Name    string
+	Threads int
+	Problem string
+	// Cycles is the elapsed virtual time of the slowest thread.
+	Cycles uint64
+	// Run and Stall are summed over threads (Figure 7's bars).
+	Run, Stall uint64
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Config carries the common kernel options.
+type Config struct {
+	// Threads is the number of worker threads (1..126 on the default
+	// chip).
+	Threads int
+	// Barrier selects hardware or software barriers.
+	Barrier BarrierKind
+	// Balanced deals threads across quads instead of filling quads
+	// sequentially; with fewer than all threads in use this spreads
+	// FPU and cache pressure (Section 3.2.2).
+	Balanced bool
+	// Chip, when non-nil, supplies a custom chip (design exploration);
+	// otherwise a fresh default chip is built.
+	Chip *core.Chip
+}
+
+func (c Config) machine() (*perf.Machine, error) {
+	chip := c.Chip
+	if chip == nil {
+		chip = core.MustNew(arch.Default())
+	}
+	if c.Threads < 1 || c.Threads > chip.Cfg.WorkerThreads() {
+		return nil, fmt.Errorf("splash: %d threads out of range (1..%d)", c.Threads, chip.Cfg.WorkerThreads())
+	}
+	m := perf.New(chip)
+	m.Balanced = c.Balanced
+	return m, nil
+}
+
+// barrier adapts the two implementations behind one call.
+type barrier struct {
+	hw *perf.HWBarrier
+	sw *perf.SWBarrier
+}
+
+func newBarrier(m *perf.Machine, n int, kind BarrierKind) *barrier {
+	if kind == SW {
+		return &barrier{sw: perf.NewSWBarrier(m, n, 4)}
+	}
+	return &barrier{hw: perf.NewHWBarrier(n)}
+}
+
+func (b *barrier) wait(t *perf.T, index int) {
+	if b.sw != nil {
+		t.SWBarrier(b.sw, index)
+	} else {
+		t.HWBarrier(b.hw)
+	}
+}
+
+// result collects the standard metrics after a run.
+func result(name, problem string, threads int, m *perf.Machine) *Result {
+	run, stall := m.TotalRunStall()
+	return &Result{
+		Name:    name,
+		Threads: threads,
+		Problem: problem,
+		Cycles:  m.Elapsed(),
+		Run:     run,
+		Stall:   stall,
+	}
+}
+
+// span returns the half-open index range [lo, hi) that thread p of nThreads
+// owns out of n items, balancing remainders.
+func span(n, p, nThreads int) (lo, hi int) {
+	base := n / nThreads
+	rem := n % nThreads
+	lo = p*base + minInt(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"testing"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/perf"
+)
+
+// Cross-frontend validation (DESIGN.md §5): the same STREAM triad, once
+// as Cyclops assembly on the instruction-level simulator and once as an
+// equivalent operation stream on the direct-execution timing runtime,
+// must agree on cycle counts within a modest band — both charge Table 2
+// costs through the same chip model, differing only in how the
+// instruction stream is produced.
+func TestISAAndTimingRuntimeAgreeOnTriad(t *testing.T) {
+	const threads, perThread = 8, 504
+	n := perThread * threads
+
+	// Instruction-level run (local caches, no unrolling), warm rep.
+	isaRes, err := Run(Params{Kernel: Triad, Threads: threads, N: n, Local: true, Reps: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Timing-runtime equivalent: same per-element operation stream as
+	// the generated assembly loop — ld b, ld c, fma, sd a, plus the
+	// 4 loop-control integer ops — on own-cache data, two reps with the
+	// first warming the caches.
+	m := perf.NewDefault()
+	bar := perf.NewHWBarrier(threads)
+	eaA := make([]uint32, threads)
+	eaB := make([]uint32, threads)
+	eaC := make([]uint32, threads)
+	for p := 0; p < threads; p++ {
+		g := arch.InterestGroup{Mode: arch.GroupOwn}
+		eaA[p] = m.MustAlloc(8*perThread, g)
+		eaB[p] = m.MustAlloc(8*perThread, g)
+		eaC[p] = m.MustAlloc(8*perThread, g)
+	}
+	var start, end uint64
+	err = m.SpawnN(threads, func(th *perf.T, p int) {
+		for rep := 0; rep < 2; rep++ {
+			th.HWBarrier(bar)
+			if p == 0 && rep == 1 {
+				start = th.Now()
+			}
+			for i := 0; i < perThread; i++ {
+				b := th.LoadF64(eaB[p] + uint32(8*i))
+				c := th.LoadF64(eaC[p] + uint32(8*i))
+				v := th.FMA(b, c)
+				th.StoreF64(eaA[p]+uint32(8*i), v)
+				th.Work(4) // pointer bumps and loop branch
+			}
+		}
+		th.HWBarrier(bar)
+		if p == 0 {
+			end = th.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	perfCycles := end - start
+	isaCycles := isaRes.BestCycles
+
+	ratio := float64(perfCycles) / float64(isaCycles)
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Errorf("frontends disagree: ISA %d cycles vs timing runtime %d (ratio %.2f)",
+			isaCycles, perfCycles, ratio)
+	}
+}

@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"fmt"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/asm"
+	"cyclops/internal/core"
+	"cyclops/internal/kernel"
+)
+
+// Result reports one STREAM measurement.
+type Result struct {
+	Params Params
+	// BestCycles is the fastest timed repetition (STREAM's best-of-N).
+	BestCycles uint64
+	// RepCycles holds every repetition's duration.
+	RepCycles []uint64
+	// TotalBytes is the STREAM-convention counted traffic per rep.
+	TotalBytes int
+	// Insts is the total instructions the run issued (all reps).
+	Insts uint64
+}
+
+// Bandwidth returns the aggregate best-rep bandwidth in bytes/second at
+// the 500 MHz design clock.
+func (r Result) Bandwidth() float64 {
+	if r.BestCycles == 0 {
+		return 0
+	}
+	return float64(r.TotalBytes) / float64(r.BestCycles) * arch.ClockHz
+}
+
+// GBps is Bandwidth in GB/s (decimal, as the paper plots).
+func (r Result) GBps() float64 { return r.Bandwidth() / 1e9 }
+
+// PerThreadMBps is the Figure 4 metric: average bandwidth per thread.
+func (r Result) PerThreadMBps() float64 {
+	return r.Bandwidth() / float64(r.Params.Threads) / 1e6
+}
+
+// Policy is re-exported so callers choose thread placement without
+// importing kernel.
+type Policy = kernel.Policy
+
+// Run generates, assembles and executes one STREAM configuration on a
+// fresh default chip and returns the measurement.
+func Run(p Params, policy Policy) (*Result, error) {
+	return RunOn(nil, p, policy)
+}
+
+// RunOn executes on the supplied chip (built fresh when nil), allowing
+// design-space exploration with non-default configurations.
+func RunOn(chip *core.Chip, p Params, policy Policy) (*Result, error) {
+	p.setDefaults()
+	src, err := Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("stream: generated program does not assemble: %w", err)
+	}
+	if chip == nil {
+		chip = core.MustNew(arch.Default())
+	}
+	if p.Threads > chip.Cfg.WorkerThreads() {
+		return nil, fmt.Errorf("stream: %d threads exceed the %d usable workers", p.Threads, chip.Cfg.WorkerThreads())
+	}
+	k := kernel.New(chip)
+	k.Policy = policy
+	// A generous ceiling: the slowest kernels move ~1 element per ~100
+	// cycles per thread at worst.
+	k.Machine().MaxCycles = 500_000_000
+	if err := k.Boot(prog); err != nil {
+		return nil, err
+	}
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+
+	times := prog.Symbols["times"]
+	stamps := make([]uint64, p.Reps+1)
+	for i := range stamps {
+		v, err := chip.Mem.Read32(times + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		stamps[i] = uint64(v)
+	}
+	res := &Result{Params: p, Insts: k.Machine().TotalInsts()}
+	total := p.N
+	if p.Independent {
+		total = p.N * p.Threads
+	}
+	res.TotalBytes = total * p.Kernel.BytesPerElement()
+	for i := 0; i < p.Reps; i++ {
+		d := stamps[i+1] - stamps[i]
+		res.RepCycles = append(res.RepCycles, d)
+		if res.BestCycles == 0 || d < res.BestCycles {
+			res.BestCycles = d
+		}
+	}
+	return res, nil
+}

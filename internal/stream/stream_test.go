@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/internal/asm"
+)
+
+func TestGenerateAssemblesForAllVariants(t *testing.T) {
+	variants := []Params{
+		{Kernel: Copy, Threads: 1, N: 512},
+		{Kernel: Scale, Threads: 1, N: 512},
+		{Kernel: Add, Threads: 8, N: 512},
+		{Kernel: Triad, Threads: 8, N: 512, Partition: Cyclic},
+		{Kernel: Copy, Threads: 8, N: 512, Local: true},
+		{Kernel: Triad, Threads: 8, N: 512, Local: true, Unroll: 4},
+		{Kernel: Add, Threads: 8, N: 64, Independent: true},
+		{Kernel: Copy, Threads: 126, N: 8 * 126},
+		{Kernel: Triad, Threads: 126, N: 16 * 126, Partition: Cyclic},
+	}
+	for _, p := range variants {
+		src, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if _, err := asm.Assemble(src); err != nil {
+			t.Fatalf("%+v does not assemble: %v\n%s", p, err, src)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []struct {
+		name string
+		p    Params
+	}{
+		{"zero threads", Params{Kernel: Copy, N: 64}},
+		{"N not line multiple", Params{Kernel: Copy, Threads: 2, N: 60}},
+		{"N not divisible by threads", Params{Kernel: Copy, Threads: 3, N: 64}},
+		{"bad unroll", Params{Kernel: Copy, Threads: 1, N: 64, Unroll: 3}},
+		{"cyclic local", Params{Kernel: Copy, Threads: 8, N: 512, Partition: Cyclic, Local: true}},
+		{"cyclic unrolled", Params{Kernel: Copy, Threads: 8, N: 512, Partition: Cyclic, Unroll: 4}},
+		{"too big", Params{Kernel: Copy, Threads: 1, N: 1 << 21}},
+		{"independent too big", Params{Kernel: Copy, Threads: 126, N: 1 << 14, Independent: true}},
+	}
+	for _, c := range bad {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	if Copy.BytesPerElement() != 16 || Scale.BytesPerElement() != 16 {
+		t.Error("copy/scale move 2 words per element")
+	}
+	if Add.BytesPerElement() != 24 || Triad.BytesPerElement() != 24 {
+		t.Error("add/triad move 3 words per element")
+	}
+	if Copy.String() != "Copy" || Triad.String() != "Triad" {
+		t.Error("kernel names wrong")
+	}
+	if Blocked.String() != "blocked" || Cyclic.String() != "cyclic" {
+		t.Error("partition names wrong")
+	}
+}
+
+func TestRunSingleThreaded(t *testing.T) {
+	res, err := Run(Params{Kernel: Copy, Threads: 1, N: 256, Reps: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+	if res.TotalBytes != 256*16 {
+		t.Errorf("TotalBytes = %d", res.TotalBytes)
+	}
+	if res.GBps() <= 0 {
+		t.Error("no bandwidth computed")
+	}
+	if len(res.RepCycles) != 2 {
+		t.Errorf("reps = %d", len(res.RepCycles))
+	}
+	// Copy of 256 elements: at least one ld+sd per element; an absurdly
+	// low cycle count would mean the timed region missed the kernel.
+	if res.BestCycles < 256 {
+		t.Errorf("best = %d cycles for 256 elements: timing region wrong", res.BestCycles)
+	}
+}
+
+func TestRunMultithreadedFasterThanSingle(t *testing.T) {
+	single, err := Run(Params{Kernel: Triad, Threads: 1, N: 2048, Reps: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(Params{Kernel: Triad, Threads: 16, N: 2048, Reps: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.BestCycles*4 > single.BestCycles {
+		t.Errorf("16 threads (%d cycles) not at least 4x faster than 1 (%d)",
+			multi.BestCycles, single.BestCycles)
+	}
+}
+
+func TestWarmRepsFasterThanCold(t *testing.T) {
+	// 512 elements x 3 vectors = 12 KB: fits the caches, so rep 2+
+	// runs in-cache and beats the cold first rep.
+	res, err := Run(Params{Kernel: Add, Threads: 4, N: 512, Reps: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepCycles[1] >= res.RepCycles[0] {
+		t.Errorf("warm rep (%d) not faster than cold rep (%d)", res.RepCycles[1], res.RepCycles[0])
+	}
+	if res.BestCycles > res.RepCycles[0] {
+		t.Error("best rep exceeds first rep")
+	}
+}
+
+func TestLocalBeatsSharedForSmallVectors(t *testing.T) {
+	shared, err := Run(Params{Kernel: Copy, Threads: 8, N: 1024, Reps: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Run(Params{Kernel: Copy, Threads: 8, N: 1024, Reps: 3, Local: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3.2.2: local caches improve small-vector bandwidth by up
+	// to 60%; at minimum they must not be slower.
+	if local.BestCycles >= shared.BestCycles {
+		t.Errorf("local mode (%d cycles) not faster than shared (%d)",
+			local.BestCycles, shared.BestCycles)
+	}
+}
+
+func TestBlockedBeatsCyclic(t *testing.T) {
+	// Out-of-cache sizes: in cyclic mode the eight threads of a group
+	// touch each line while it is still being fetched, so every one of
+	// them waits the full miss latency (Section 3.2.2).
+	blocked, err := Run(Params{Kernel: Copy, Threads: 16, N: 65536, Reps: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic, err := Run(Params{Kernel: Copy, Threads: 16, N: 65536, Reps: 2, Partition: Cyclic}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5: blocked outperforms cyclic at equal vector size.
+	if blocked.BestCycles >= cyclic.BestCycles {
+		t.Errorf("blocked (%d cycles) not faster than cyclic (%d)",
+			blocked.BestCycles, cyclic.BestCycles)
+	}
+}
+
+func TestUnrollingHelpsLocalBlocked(t *testing.T) {
+	rolled, err := Run(Params{Kernel: Triad, Threads: 8, N: 2048, Local: true, Reps: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrolled, err := Run(Params{Kernel: Triad, Threads: 8, N: 2048, Local: true, Unroll: 4, Reps: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5d: unrolling improves small-vector performance by issuing
+	// independent loads while earlier ones complete.
+	if unrolled.BestCycles >= rolled.BestCycles {
+		t.Errorf("unrolled (%d cycles) not faster than rolled (%d)",
+			unrolled.BestCycles, rolled.BestCycles)
+	}
+}
+
+func TestIndependentCopiesRun(t *testing.T) {
+	res, err := Run(Params{Kernel: Triad, Threads: 8, N: 64, Independent: true, Reps: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 8*64*24 {
+		t.Errorf("TotalBytes = %d, want aggregate over private copies", res.TotalBytes)
+	}
+	if res.PerThreadMBps() <= 0 {
+		t.Error("per-thread bandwidth not computed")
+	}
+}
+
+func TestRunRejectsTooManyThreads(t *testing.T) {
+	_, err := Run(Params{Kernel: Copy, Threads: 127, N: 8 * 127}, 0)
+	if err == nil || !strings.Contains(err.Error(), "usable workers") {
+		t.Errorf("127 threads: %v", err)
+	}
+}
+
+func TestGeneratedSourceMentionsConfig(t *testing.T) {
+	src, err := Generate(Params{Kernel: Triad, Threads: 4, N: 64, Local: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "Triad") || !strings.Contains(src, "local=true") {
+		t.Error("generated header does not describe the configuration")
+	}
+}
