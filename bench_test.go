@@ -6,6 +6,7 @@ package cyclops_test
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -156,13 +157,20 @@ func BenchmarkHWvsSWBarrier(b *testing.B) {
 	b.ReportMetric(sw, "swCycles")
 }
 
+// atofOr parses the leading numeric prefix of a table cell ("59.8",
+// "-3.2%", "123 cycles"), returning 0 if there is none.
 func atofOr(s string) float64 {
-	var v float64
-	for _, c := range s {
-		if c < '0' || c > '9' {
-			break
+	end := 0
+	for i, c := range s {
+		if c >= '0' && c <= '9' || c == '.' || (c == '-' || c == '+') && i == 0 {
+			end = i + len(string(c))
+			continue
 		}
-		v = v*10 + float64(c-'0')
+		break
+	}
+	v, err := strconv.ParseFloat(strings.TrimRight(s[:end], "."), 64)
+	if err != nil {
+		return 0
 	}
 	return v
 }

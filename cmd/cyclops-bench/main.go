@@ -5,7 +5,13 @@
 //
 //	cyclops-bench -list
 //	cyclops-bench -run fig4a,fig7a [-scale full] [-csv outdir]
-//	cyclops-bench -all -scale full
+//	cyclops-bench -all -scale full [-parallel N]
+//
+// Every experiment point is an independent deterministic simulation, so
+// the sweeps fan out across -parallel workers (default: all CPUs) and the
+// experiments themselves run concurrently. Tables print to stdout in
+// input order and are byte-identical for any -parallel value; timing and
+// errors go to stderr.
 package main
 
 import (
@@ -13,10 +19,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"cyclops/internal/harness"
+	"cyclops/internal/harness/sweep"
 )
+
+// result is one finished experiment: its rendered table or its error.
+type result struct {
+	tab     *harness.Table
+	err     error
+	elapsed time.Duration
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
@@ -24,6 +40,7 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	scaleStr := flag.String("scale", "small", "experiment scale: small | full (paper parameters)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep worker pool size (1 = fully serial)")
 	flag.Parse()
 
 	if *list {
@@ -36,38 +53,83 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var ids []string
+	sweep.SetWorkers(*parallel)
+	var exps []harness.Experiment
 	switch {
 	case *all:
-		for _, e := range harness.Experiments() {
-			ids = append(ids, e.ID)
-		}
+		exps = harness.Experiments()
 	case *runIDs != "":
-		ids = strings.Split(*runIDs, ",")
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := harness.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+			}
+			exps = append(exps, e)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cyclops-bench -list | -run id[,id...] | -all  [-scale small|full] [-csv dir]")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-bench -list | -run id[,id...] | -all  [-scale small|full] [-csv dir] [-parallel N]")
 		os.Exit(2)
 	}
-	for _, id := range ids {
-		e, ok := harness.Lookup(strings.TrimSpace(id))
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+
+	start := time.Now()
+	results := runExperiments(exps, scale, *parallel > 1)
+	failed := 0
+	for i, e := range exps {
+		r := results[i]
+		fmt.Fprintf(os.Stderr, "cyclops-bench: %-13s %8.2fs\n", e.ID, r.elapsed.Seconds())
+		if r.err != nil {
+			// Report and keep going; a broken experiment must not cost
+			// the rest of the run.
+			fmt.Fprintf(os.Stderr, "cyclops-bench: %s: %v\n", e.ID, r.err)
+			failed++
+			continue
 		}
-		tab, err := e.Run(scale)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
-		tab.Fprint(os.Stdout)
+		r.tab.Fprint(os.Stdout)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fatal(err)
 			}
 			path := filepath.Join(*csvDir, e.ID+".csv")
-			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(r.tab.CSV()), 0o644); err != nil {
 				fatal(err)
 			}
 		}
 	}
+	fmt.Fprintf(os.Stderr, "cyclops-bench: %d/%d experiments in %.2fs (%d workers)\n",
+		len(exps)-failed, len(exps), time.Since(start).Seconds(), sweep.Workers())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runExperiments executes the experiments — concurrently when the pool
+// allows it, serially otherwise — returning results in input order. The
+// per-point fan-out inside each experiment shares the process-wide sweep
+// pool, so total simulation concurrency stays bounded either way.
+func runExperiments(exps []harness.Experiment, scale harness.Scale, concurrent bool) []result {
+	results := make([]result, len(exps))
+	runOne := func(i int) {
+		t0 := time.Now()
+		tab, err := exps[i].Run(scale)
+		results[i] = result{tab: tab, err: err, elapsed: time.Since(t0)}
+	}
+	if !concurrent {
+		for i := range exps {
+			runOne(i)
+		}
+		return results
+	}
+	done := make(chan int)
+	for i := range exps {
+		go func(i int) {
+			runOne(i)
+			done <- i
+		}(i)
+	}
+	for range exps {
+		<-done
+	}
+	return results
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"cyclops/internal/harness/sweep"
 	"cyclops/internal/md"
 	"cyclops/internal/ray"
 	"cyclops/internal/splash"
@@ -29,30 +30,44 @@ func Apps(s Scale) (*Table, error) {
 	cfg := func(tc int) splash.Config {
 		return splash.Config{Threads: tc, Balanced: true}
 	}
-	runAll := func(tc int) (*splash.Result, *splash.Result, *splash.Result, error) {
-		m, _, err := md.Run(md.Opts{Config: cfg(tc), NParticles: mdN, Steps: 1})
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("md: %w", err)
+	// One point per (thread count, application); the leading tc=1 triple
+	// is the speedup baseline.
+	type appPoint struct{ tc, app int }
+	tcs := append([]int{1}, threads...)
+	pts := make([]appPoint, 0, 3*len(tcs))
+	for _, tc := range tcs {
+		for app := 0; app < 3; app++ {
+			pts = append(pts, appPoint{tc, app})
 		}
-		r, _, err := ray.Render(ray.Opts{Config: cfg(tc), Width: rayW, Height: rayH})
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("ray: %w", err)
-		}
-		l, err := splash.RunLU(splash.LUOpts{Config: cfg(tc), N: luN})
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("lu: %w", err)
-		}
-		return m, r, l, nil
 	}
-	baseMD, baseRay, baseLU, err := runAll(1)
+	res, err := sweep.Map(pts, func(p appPoint) (*splash.Result, error) {
+		switch p.app {
+		case 0:
+			m, _, err := md.Run(md.Opts{Config: cfg(p.tc), NParticles: mdN, Steps: 1})
+			if err != nil {
+				return nil, fmt.Errorf("md: %w", err)
+			}
+			return m, nil
+		case 1:
+			r, _, err := ray.Render(ray.Opts{Config: cfg(p.tc), Width: rayW, Height: rayH})
+			if err != nil {
+				return nil, fmt.Errorf("ray: %w", err)
+			}
+			return r, nil
+		default:
+			l, err := splash.RunLU(splash.LUOpts{Config: cfg(p.tc), N: luN})
+			if err != nil {
+				return nil, fmt.Errorf("lu: %w", err)
+			}
+			return l, nil
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, tc := range threads {
-		m, r, l, err := runAll(tc)
-		if err != nil {
-			return nil, err
-		}
+	baseMD, baseRay, baseLU := res[0], res[1], res[2]
+	for i, tc := range threads {
+		m, r, l := res[3*(i+1)], res[3*(i+1)+1], res[3*(i+1)+2]
 		t.AddRow(fmt.Sprintf("%d", tc),
 			f2(m.Speedup(baseMD)), f2(r.Speedup(baseRay)), f2(l.Speedup(baseLU)))
 	}

@@ -5,6 +5,7 @@ import (
 
 	"cyclops/internal/arch"
 	"cyclops/internal/core"
+	"cyclops/internal/harness/sweep"
 	"cyclops/internal/kernel"
 	"cyclops/internal/link"
 	"cyclops/internal/splash"
@@ -25,19 +26,24 @@ func Fault(s Scale) (*Table, error) {
 		Title:   "Degraded-chip STREAM Triad (Section 5 fault tolerance)",
 		Columns: []string{"banks down", "quads down", "threads", "memory MB", "GB/s", "% of healthy"},
 	}
-	var healthy float64
-	for _, f := range []struct{ banks, quads int }{
+	faults := []struct{ banks, quads int }{
 		{0, 0}, {1, 0}, {2, 0}, {4, 0}, {0, 4}, {0, 8}, {4, 8},
-	} {
+	}
+	type faultResult struct {
+		threads int
+		memMB   float64
+		gbps    float64
+	}
+	res, err := sweep.Map(faults, func(f struct{ banks, quads int }) (faultResult, error) {
 		chip := core.MustNew(arch.Default())
 		for b := 0; b < f.banks; b++ {
 			if err := chip.Mem.FailBank(b); err != nil {
-				return nil, err
+				return faultResult{}, err
 			}
 		}
 		for q := 0; q < f.quads; q++ {
 			if err := chip.DisableQuad(q); err != nil {
-				return nil, err
+				return faultResult{}, err
 			}
 		}
 		threads := chip.UsableThreads() - 2
@@ -51,15 +57,19 @@ func Fault(s Scale) (*Table, error) {
 			Local: true, Unroll: 4, Reps: 2,
 		}, kernel.Sequential)
 		if err != nil {
-			return nil, err
+			return faultResult{}, err
 		}
-		g := r.GBps()
-		if healthy == 0 {
-			healthy = g
-		}
+		return faultResult{threads, float64(chip.Mem.Size()) / (1 << 20), r.GBps()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	healthy := res[0].gbps
+	for i, f := range faults {
+		r := res[i]
 		t.AddRow(fmt.Sprintf("%d", f.banks), fmt.Sprintf("%d", f.quads),
-			fmt.Sprintf("%d", threads), fmt.Sprintf("%.1f", float64(chip.Mem.Size())/(1<<20)),
-			f1(g), f1(100*g/healthy))
+			fmt.Sprintf("%d", r.threads), fmt.Sprintf("%.1f", r.memMB),
+			f1(r.gbps), f1(100*r.gbps/healthy))
 	}
 	t.Note("failed banks shrink and re-map the address space; a broken FPU disables its quad")
 	return t, nil
@@ -94,10 +104,10 @@ func Mesh(s Scale) (*Table, error) {
 		Title:   "Multi-chip weak scaling over the 3-D torus (Section 2.2 extension)",
 		Columns: []string{"cells", "system", "step cycles", "comm %", "aggregate Gflop/s"},
 	}
-	for _, side := range sides {
+	worsts, err := sweep.Map(sides, func(side int) (uint64, error) {
 		m, err := link.NewMesh(link.DefaultLinkConfig(), link.Coord{X: side, Y: side, Z: side}, true)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		var worst uint64
 		for x := 0; x < side; x++ {
@@ -113,7 +123,7 @@ func Mesh(s Scale) (*Table, error) {
 						}
 						done, err := m.Send(0, src, dst, halo)
 						if err != nil {
-							return nil, err
+							return 0, err
 						}
 						if done > worst {
 							worst = done
@@ -122,6 +132,13 @@ func Mesh(s Scale) (*Table, error) {
 				}
 			}
 		}
+		return worst, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, side := range sides {
+		worst := worsts[i]
 		step := compute + worst
 		cells := side * side * side
 		flops := float64(cells) * float64(block*block) * 6

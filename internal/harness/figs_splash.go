@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"cyclops/internal/harness/sweep"
 	"cyclops/internal/perf"
 	"cyclops/internal/splash"
 )
@@ -58,14 +59,32 @@ func Fig3(s Scale) (*Table, error) {
 	}
 	t := &Table{ID: "fig3", Title: "SPLASH-2 parallel speedups", Columns: cols}
 
-	bases := make([]*splash.Result, len(kernels))
-	for i, k := range kernels {
-		r, err := k.run(1)
-		if err != nil {
-			return nil, fmt.Errorf("%s threads=1: %w", k.name, err)
-		}
-		bases[i] = r
+	// The whole kernel × thread-count grid — bases included — fans out
+	// over the sweep pool; every point runs on its own chip.
+	type cell struct{ ki, tc int }
+	pts := make([]cell, 0, len(kernels)*(1+len(threads)))
+	for i := range kernels {
+		pts = append(pts, cell{i, 1})
 	}
+	for _, tc := range threads {
+		for i, k := range kernels {
+			if k.max != 0 && tc > k.max {
+				continue
+			}
+			pts = append(pts, cell{i, tc})
+		}
+	}
+	res, err := sweep.Map(pts, func(c cell) (*splash.Result, error) {
+		r, err := kernels[c.ki].run(c.tc)
+		if err != nil {
+			return nil, fmt.Errorf("%s threads=%d: %w", kernels[c.ki].name, c.tc, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bases, rest := res[:len(kernels)], res[len(kernels):]
 	for _, tc := range threads {
 		row := []string{fmt.Sprintf("%d", tc)}
 		for i, k := range kernels {
@@ -73,11 +92,8 @@ func Fig3(s Scale) (*Table, error) {
 				row = append(row, "-")
 				continue
 			}
-			r, err := k.run(tc)
-			if err != nil {
-				return nil, fmt.Errorf("%s threads=%d: %w", k.name, tc, err)
-			}
-			row = append(row, f2(r.Speedup(bases[i])))
+			row = append(row, f2(rest[0].Speedup(bases[i])))
+			rest = rest[1:]
 		}
 		t.AddRow(row...)
 	}
@@ -118,15 +134,24 @@ func Fig7(points int, s Scale) (*Table, error) {
 		Title:   fmt.Sprintf("HW vs SW barriers, %d-point FFT (%% change, negative = better)", n),
 		Columns: []string{"threads", "total %", "run %", "stall %", "sw cycles", "hw cycles"},
 	}
+	// Two FFT runs per thread count — software and hardware barriers —
+	// all independent, all fanned out together.
+	type fftPoint struct {
+		tc   int
+		kind splash.BarrierKind
+	}
+	pts := make([]fftPoint, 0, 2*len(threadCounts))
 	for _, tc := range threadCounts {
-		sw, err := splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: tc, Barrier: splash.SW}, N: n})
-		if err != nil {
-			return nil, err
-		}
-		hw, err := splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: tc, Barrier: splash.HW}, N: n})
-		if err != nil {
-			return nil, err
-		}
+		pts = append(pts, fftPoint{tc, splash.SW}, fftPoint{tc, splash.HW})
+	}
+	res, err := sweep.Map(pts, func(p fftPoint) (*splash.Result, error) {
+		return splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: p.tc, Barrier: p.kind}, N: n})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range threadCounts {
+		sw, hw := res[2*i], res[2*i+1]
 		pct := func(hwV, swV uint64) string {
 			if swV == 0 {
 				return "-"
@@ -181,16 +206,22 @@ func MicroBarrier(s Scale) (*Table, error) {
 		}
 		return m.Elapsed() / uint64(phases), nil
 	}
+	type barrierPoint struct {
+		n    int
+		kind splash.BarrierKind
+	}
+	pts := make([]barrierPoint, 0, 2*len(counts))
 	for _, n := range counts {
-		hw, err := measure(n, splash.HW)
-		if err != nil {
-			return nil, err
-		}
-		sw, err := measure(n, splash.SW)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", hw), fmt.Sprintf("%d", sw))
+		pts = append(pts, barrierPoint{n, splash.HW}, barrierPoint{n, splash.SW})
+	}
+	res, err := sweep.Map(pts, func(p barrierPoint) (uint64, error) {
+		return measure(p.n, p.kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range counts {
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", res[2*i]), fmt.Sprintf("%d", res[2*i+1]))
 	}
 	t.Note("hardware barrier cost is a small constant; the software tree grows with depth and memory contention")
 	return t, nil

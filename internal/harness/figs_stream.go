@@ -3,23 +3,46 @@ package harness
 import (
 	"fmt"
 
+	"cyclops/internal/harness/sweep"
 	"cyclops/internal/kernel"
 	"cyclops/internal/refdata"
 	"cyclops/internal/stream"
 )
 
-// streamRow runs the four STREAM kernels at one configuration and returns
-// per-kernel results.
-func streamRow(base stream.Params, policy kernel.Policy) ([4]*stream.Result, error) {
-	var out [4]*stream.Result
-	for i, k := range []stream.Kernel{stream.Copy, stream.Scale, stream.Add, stream.Triad} {
-		p := base
-		p.Kernel = k
-		r, err := stream.Run(p, policy)
-		if err != nil {
-			return out, fmt.Errorf("%v: %w", k, err)
+// streamKernels is the STREAM column order of every figure.
+var streamKernels = [4]stream.Kernel{stream.Copy, stream.Scale, stream.Add, stream.Triad}
+
+// streamPoint is one (params, kernel) cell of a STREAM sweep grid.
+type streamPoint struct {
+	p      stream.Params
+	policy kernel.Policy
+}
+
+// streamGrid fans rows×4 STREAM simulations across the sweep pool — each
+// point builds its own chip — and regroups the results one row of four
+// kernels per input row, in input order.
+func streamGrid(rows []stream.Params, policy kernel.Policy) ([][4]*stream.Result, error) {
+	pts := make([]streamPoint, 0, 4*len(rows))
+	for _, base := range rows {
+		for _, k := range streamKernels {
+			p := base
+			p.Kernel = k
+			pts = append(pts, streamPoint{p, policy})
 		}
-		out[i] = r
+	}
+	res, err := sweep.Map(pts, func(q streamPoint) (*stream.Result, error) {
+		r, err := stream.Run(q.p, q.policy)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", q.p.Kernel, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][4]*stream.Result, len(rows))
+	for i := range rows {
+		copy(out[i][:], res[4*i:4*i+4])
 	}
 	return out, nil
 }
@@ -36,13 +59,18 @@ func Fig4a(s Scale) (*Table, error) {
 		Title:   "Single-threaded STREAM out-of-the-box (MB/s)",
 		Columns: []string{"elements", "Copy", "Scale", "Add", "Triad"},
 	}
+	rows := make([]stream.Params, 0, len(sizes))
 	for _, n := range sizes {
 		n -= n % 8
-		rs, err := streamRow(stream.Params{Threads: 1, N: n, Reps: 2}, kernel.Sequential)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d", n),
+		rows = append(rows, stream.Params{Threads: 1, N: n, Reps: 2})
+	}
+	grid, err := streamGrid(rows, kernel.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range rows {
+		rs := grid[i]
+		t.AddRow(fmt.Sprintf("%d", p.N),
 			f1(rs[0].PerThreadMBps()), f1(rs[1].PerThreadMBps()),
 			f1(rs[2].PerThreadMBps()), f1(rs[3].PerThreadMBps()))
 	}
@@ -64,24 +92,26 @@ func Fig4b(s Scale) (*Table, error) {
 		Title:   fmt.Sprintf("Multithreaded STREAM out-of-the-box, %d threads (MB/s per thread)", threads),
 		Columns: []string{"elements/thread", "Copy", "Scale", "Add", "Triad"},
 	}
-	var lastRow [4]*stream.Result
+	rows := make([]stream.Params, 0, len(sizes)+1)
 	for _, n := range sizes {
 		n -= n % 8
-		rs, err := streamRow(stream.Params{Threads: threads, N: n, Independent: true, Reps: 2}, kernel.Sequential)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d", n),
-			f1(rs[0].PerThreadMBps()), f1(rs[1].PerThreadMBps()),
-			f1(rs[2].PerThreadMBps()), f1(rs[3].PerThreadMBps()))
-		lastRow = rs
+		rows = append(rows, stream.Params{Threads: threads, N: n, Independent: true, Reps: 2})
 	}
-	// Aggregate ratio for the largest size vs single-threaded.
+	// The single-threaded reference for the aggregate ratio rides along as
+	// one more grid row at the largest size.
 	nLast := sizes[len(sizes)-1] &^ 7
-	single, err := streamRow(stream.Params{Threads: 1, N: nLast, Reps: 2}, kernel.Sequential)
+	rows = append(rows, stream.Params{Threads: 1, N: nLast, Reps: 2})
+	grid, err := streamGrid(rows, kernel.Sequential)
 	if err != nil {
 		return nil, err
 	}
+	for i := 0; i < len(sizes); i++ {
+		rs := grid[i]
+		t.AddRow(fmt.Sprintf("%d", rows[i].N),
+			f1(rs[0].PerThreadMBps()), f1(rs[1].PerThreadMBps()),
+			f1(rs[2].PerThreadMBps()), f1(rs[3].PerThreadMBps()))
+	}
+	lastRow, single := grid[len(sizes)-1], grid[len(sizes)]
 	for i, name := range []string{"Copy", "Scale", "Add", "Triad"} {
 		ratio := lastRow[i].Bandwidth() / single[i].Bandwidth()
 		t.Note("aggregate %s bandwidth is %.0fx the single-threaded run (paper: %.0f-%.0fx)",
@@ -127,13 +157,18 @@ func Fig5(variant byte, s Scale) (*Table, error) {
 		Title:   title + fmt.Sprintf(" (%d threads, total GB/s)", threads),
 		Columns: []string{"elements/thread", "Copy", "Scale", "Add", "Triad"},
 	}
+	rows := make([]stream.Params, 0, len(sizes))
 	for _, per := range sizes {
 		p := base
 		p.N = per * threads
-		rs, err := streamRow(p, kernel.Sequential)
-		if err != nil {
-			return nil, err
-		}
+		rows = append(rows, p)
+	}
+	grid, err := streamGrid(rows, kernel.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	for i, per := range sizes {
+		rs := grid[i]
 		t.AddRow(fmt.Sprintf("%d", per),
 			f1(rs[0].GBps()), f1(rs[1].GBps()), f1(rs[2].GBps()), f1(rs[3].GBps()))
 	}
@@ -163,13 +198,17 @@ func Fig6a(s Scale) (*Table, error) {
 		Title:   fmt.Sprintf("Cyclops best-config STREAM, %d elements (total GB/s)", n),
 		Columns: []string{"threads", "Copy", "Scale", "Add", "Triad"},
 	}
+	rows := make([]stream.Params, 0, len(threadCounts))
 	for _, tc := range threadCounts {
 		nt := n - n%(8*tc)
-		p := stream.Params{Threads: tc, N: nt, Local: true, Unroll: 4, Reps: 2}
-		rs, err := streamRow(p, kernel.Balanced)
-		if err != nil {
-			return nil, err
-		}
+		rows = append(rows, stream.Params{Threads: tc, N: nt, Local: true, Unroll: 4, Reps: 2})
+	}
+	grid, err := streamGrid(rows, kernel.Balanced)
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range threadCounts {
+		rs := grid[i]
 		t.AddRow(fmt.Sprintf("%d", tc),
 			f1(rs[0].GBps()), f1(rs[1].GBps()), f1(rs[2].GBps()), f1(rs[3].GBps()))
 	}

@@ -1,0 +1,88 @@
+// Package sweep fans independent experiment points across a worker pool.
+//
+// The paper's evaluation is a grid of deterministic simulations — sizes ×
+// kernels × thread counts — and every point builds its own core.Chip, so
+// points share no state and parallelize perfectly. Map preserves input
+// order in its results, which keeps every rendered table byte-identical
+// regardless of the worker count.
+//
+// The pool is process-wide: concurrently running experiments (cyclops-bench
+// -all) share one token semaphore, so total simulation concurrency stays
+// bounded by SetWorkers no matter how many sweeps are in flight. Map never
+// nests — sweep callbacks must not call Map, or workers would starve
+// waiting for tokens their callers hold.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu     sync.Mutex
+	size   = runtime.GOMAXPROCS(0)
+	tokens = make(chan struct{}, size)
+)
+
+// SetWorkers sizes the process-wide pool. n < 1 is clamped to 1; 1 makes
+// every Map run sequentially in the calling goroutine.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	size = n
+	tokens = make(chan struct{}, n)
+	mu.Unlock()
+}
+
+// Workers returns the current pool size.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return size
+}
+
+func pool() chan struct{} {
+	mu.Lock()
+	defer mu.Unlock()
+	return tokens
+}
+
+// Map runs fn over every point and returns the results in input order.
+// With more than one worker the points run concurrently; the first error
+// in input order is returned (the same error a sequential run would have
+// stopped at, since the lowest-index failing point fails either way).
+// With one worker Map degenerates to a plain sequential loop.
+func Map[P, R any](points []P, fn func(P) (R, error)) ([]R, error) {
+	out := make([]R, len(points))
+	if Workers() <= 1 || len(points) <= 1 {
+		for i := range points {
+			r, err := fn(points[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, len(points))
+	sem := pool()
+	var wg sync.WaitGroup
+	for i := range points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(points[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

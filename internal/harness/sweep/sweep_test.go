@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrder checks that results come back in input order regardless of
+// the order in which the points finish.
+func TestMapOrder(t *testing.T) {
+	defer SetWorkers(Workers())
+	for _, workers := range []int{1, 2, 8} {
+		SetWorkers(workers)
+		in := make([]int, 100)
+		for i := range in {
+			in[i] = i
+		}
+		out, err := Map(in, func(p int) (int, error) { return p * p, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), len(in))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapError checks that the reported error is the one a sequential run
+// would stop at — the lowest input index — for every worker count.
+func TestMapError(t *testing.T) {
+	defer SetWorkers(Workers())
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		in := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		_, err := Map(in, func(p int) (int, error) {
+			switch p {
+			case 2:
+				return 0, errLow
+			case 6:
+				return 0, fmt.Errorf("high")
+			}
+			return p, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestMapEmpty checks the degenerate inputs.
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, func(p int) (int, error) { return p, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("nil input: out=%v err=%v", out, err)
+	}
+	out, err = Map([]int{7}, func(p int) (int, error) { return p + 1, nil })
+	if err != nil || len(out) != 1 || out[0] != 8 {
+		t.Fatalf("single input: out=%v err=%v", out, err)
+	}
+}
+
+// TestSetWorkers checks clamping and that the pool really bounds
+// concurrency.
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(Workers())
+	SetWorkers(-3)
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() after SetWorkers(-3) = %d, want 1", got)
+	}
+	SetWorkers(2)
+	if got := Workers(); got != 2 {
+		t.Fatalf("Workers() = %d, want 2", got)
+	}
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	in := make([]int, 64)
+	_, err := Map(in, func(p int) (int, error) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+		return p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("observed %d concurrent points with a 2-worker pool", peak.Load())
+	}
+}
+
+// TestMapSharedPool checks that two Maps running concurrently (as
+// concurrent experiments do) share one token pool and both complete.
+func TestMapSharedPool(t *testing.T) {
+	defer SetWorkers(Workers())
+	SetWorkers(3)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in := make([]int, 32)
+			for i := range in {
+				in[i] = i
+			}
+			out, err := Map(in, func(p int) (int, error) { return p + g, nil })
+			if err == nil {
+				for i, v := range out {
+					if v != i+g {
+						err = fmt.Errorf("goroutine %d: out[%d] = %d", g, i, v)
+						break
+					}
+				}
+			}
+			errs[g] = err
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

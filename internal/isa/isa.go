@@ -270,6 +270,16 @@ func Lookup(op Op) Info {
 	return infos[op]
 }
 
+// InfoRef returns a pointer to op's static description. The table is
+// immutable after init, so the pointer is safe to hold; hot paths (the
+// simulator's issue loop) use it to avoid copying Info per instruction.
+func InfoRef(op Op) *Info {
+	if op >= NumOps {
+		return &infos[OpInvalid]
+	}
+	return &infos[op]
+}
+
 // String returns the mnemonic.
 func (op Op) String() string { return Lookup(op).Name }
 

@@ -29,6 +29,13 @@ type Memory struct {
 
 	banks []bank
 
+	// Code watch (see WatchCode): [watchLo, watchHi) bounds the text
+	// addresses some consumer has cached decodings of; codeGen counts
+	// writes landing inside the range so caches can invalidate.
+	watchLo, watchHi uint32
+	watchSet         bool
+	codeGen          uint64
+
 	// Stats.
 	LineFills   uint64
 	WriteBursts uint64
@@ -121,8 +128,33 @@ func (m *Memory) Read(addr uint32, p []byte) error {
 	return nil
 }
 
+// WatchCode widens the watched text range to cover [lo, hi). Consumers
+// that cache decoded instructions (internal/sim's decode cache) register
+// the ranges they have cached; any later write overlapping the watched
+// range bumps the generation counter returned by CodeGen, signalling that
+// cached decodings may be stale (self-modifying code, program reload).
+func (m *Memory) WatchCode(lo, hi uint32) {
+	if !m.watchSet {
+		m.watchLo, m.watchHi, m.watchSet = lo, hi, true
+		return
+	}
+	if lo < m.watchLo {
+		m.watchLo = lo
+	}
+	if hi > m.watchHi {
+		m.watchHi = hi
+	}
+}
+
+// CodeGen returns the code-modification generation: it increments every
+// time a write overlaps the watched text range.
+func (m *Memory) CodeGen() uint64 { return m.codeGen }
+
 // Write stores p at physical address addr.
 func (m *Memory) Write(addr uint32, p []byte) error {
+	if m.watchSet && addr < m.watchHi && addr+uint32(len(p)) > m.watchLo {
+		m.codeGen++
+	}
 	for i := range p {
 		off, err := m.backingOffset(addr + uint32(i))
 		if err != nil {

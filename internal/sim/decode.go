@@ -1,0 +1,86 @@
+package sim
+
+import "cyclops/internal/isa"
+
+// The decoded-instruction cache. The legacy engine re-read and re-decoded
+// the instruction word from embedded memory on every issue; for long-lived
+// loops that is the single largest host-side cost per simulated
+// instruction. The cache decodes each text word once into a page of ready
+// entries, and each thread unit keeps a hint to its current page so the
+// steady-state fetch is one array index.
+//
+// Correctness under self-modifying code: every cached page registers its
+// address range with mem.Memory.WatchCode. Any write overlapping a watched
+// range — a store instruction, an off-chip DMA block, a program reload —
+// bumps the memory's code generation; the engine compares that generation
+// on every issue and flushes the whole cache when it moves. Flushes are
+// rare (text stores only), so the common path pays one load and compare.
+
+const (
+	// decPageShift sizes a page at 1 KB of text = 256 instruction words.
+	decPageShift = 10
+	decPageWords = 1 << (decPageShift - 2)
+	decPageMask  = decPageWords - 1
+)
+
+// decEntry is one pre-decoded instruction.
+type decEntry struct {
+	info *isa.Info
+	in   isa.Inst
+	word uint32 // raw instruction word, kept for tracing
+	ok   bool
+}
+
+// decPage holds the decodings of one aligned 1 KB text page.
+type decPage struct {
+	entries [decPageWords]decEntry
+}
+
+// fetchDecoded returns the decoded instruction at tu.PC, filling the cache
+// on a miss. It returns nil after raising a trap (fetch fault or illegal
+// instruction), exactly where the legacy fetch path trapped.
+func (m *Machine) fetchDecoded(tu *TU) *decEntry {
+	memory := m.Chip.Mem
+	if g := memory.CodeGen(); g != m.decGen {
+		m.decGen = g
+		m.flushDecode()
+	}
+	pk := tu.PC >> decPageShift
+	pg := tu.decPage
+	if pg == nil || tu.decPageKey != pk {
+		pg = m.decPages[pk]
+		if pg == nil {
+			if m.decPages == nil {
+				m.decPages = make(map[uint32]*decPage)
+			}
+			pg = new(decPage)
+			m.decPages[pk] = pg
+			memory.WatchCode(pk<<decPageShift, (pk+1)<<decPageShift)
+		}
+		tu.decPage, tu.decPageKey = pg, pk
+	}
+	e := &pg.entries[(tu.PC>>2)&decPageMask]
+	if !e.ok {
+		word, err := memory.Read32(tu.PC)
+		if err != nil {
+			m.Trap("sim: thread %d: fetch at %#x: %v", tu.ID, tu.PC, err)
+			return nil
+		}
+		in := isa.Decode(word)
+		if in.Op == isa.OpInvalid {
+			m.Trap("sim: thread %d: illegal instruction %#08x at %#x", tu.ID, word, tu.PC)
+			return nil
+		}
+		e.in, e.word, e.info, e.ok = in, word, isa.InfoRef(in.Op), true
+	}
+	return e
+}
+
+// flushDecode drops every cached decoding and page hint. Called when the
+// memory's code generation moves (a write landed in watched text).
+func (m *Machine) flushDecode() {
+	m.decPages = nil
+	for _, tu := range m.TUs {
+		tu.decPage, tu.decPageKey = nil, 0
+	}
+}

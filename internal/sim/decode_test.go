@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"cyclops/internal/asm"
+)
+
+// smcSrc executes the instruction at patch: (so it lands in the decode
+// cache), overwrites it with a store, jumps back, and records what the
+// second pass computed. The decode cache must notice the store into
+// cached text — a stale decode would write 7 instead of 42.
+const smcSrc = `
+	la   r20, out
+	la   r21, patch
+	la   r22, tmpl
+	li   r9, 0
+patch:	addi r11, r0, 7		; executed twice; rewritten between passes
+	bne  r9, r0, done
+	li   r9, 1
+	lw   r10, 0(r22)	; template word: "addi r11, r0, 42"
+	sw   r10, 0(r21)	; store into text -> must flush the decode cache
+	j    patch
+done:	sw   r11, 0(r20)
+	halt
+tmpl:	addi r11, r0, 42
+out:	.space 4
+`
+
+func smcOut(t *testing.T) uint32 {
+	t.Helper()
+	p, err := asm.Assemble(smcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Symbols["out"]
+}
+
+// TestSelfModifyingCode checks the decode cache's safety property on the
+// default (cached, event-driven) engine.
+func TestSelfModifyingCode(t *testing.T) {
+	m := run(t, smcSrc)
+	if m.decPages == nil {
+		t.Fatal("decode cache was never populated (legacy path taken?)")
+	}
+	if got := word(t, m, smcOut(t)); got != 42 {
+		t.Fatalf("out = %d, want 42 (stale decode executed)", got)
+	}
+}
+
+// TestSelfModifyingCodeLegacy runs the same program through the seed
+// interpreter loop, pinning the reference behaviour the cached engine
+// must match.
+func TestSelfModifyingCodeLegacy(t *testing.T) {
+	LegacyEngine = true
+	defer func() { LegacyEngine = false }()
+	m := run(t, smcSrc)
+	if m.decPages != nil {
+		t.Fatal("legacy engine populated the decode cache")
+	}
+	if got := word(t, m, smcOut(t)); got != 42 {
+		t.Fatalf("out = %d, want 42", got)
+	}
+}

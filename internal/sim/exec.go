@@ -53,7 +53,7 @@ func maxCycle(a, b uint64) uint64 {
 }
 
 // sources returns the cycle at which all of in's source operands are ready.
-func (tu *TU) sources(in isa.Inst, info isa.Info) uint64 {
+func (tu *TU) sources(in isa.Inst, info *isa.Info) uint64 {
 	var t uint64
 	pair := func(r uint8) {
 		t = maxCycle(t, tu.regReady(r))
@@ -135,16 +135,27 @@ func (m *Machine) step(tu *TU) {
 		return
 	}
 
-	word, err := m.Chip.Mem.Read32(tu.PC)
-	if err != nil {
-		m.Trap("sim: thread %d: fetch at %#x: %v", tu.ID, tu.PC, err)
-		return
-	}
-	in := isa.Decode(word)
-	info := isa.Lookup(in.Op)
-	if in.Op == isa.OpInvalid {
-		m.Trap("sim: thread %d: illegal instruction %#08x at %#x", tu.ID, word, tu.PC)
-		return
+	var in isa.Inst
+	var info *isa.Info
+	var word uint32
+	if m.legacy {
+		w, err := m.Chip.Mem.Read32(tu.PC)
+		if err != nil {
+			m.Trap("sim: thread %d: fetch at %#x: %v", tu.ID, tu.PC, err)
+			return
+		}
+		in = isa.Decode(w)
+		if in.Op == isa.OpInvalid {
+			m.Trap("sim: thread %d: illegal instruction %#08x at %#x", tu.ID, w, tu.PC)
+			return
+		}
+		info, word = isa.InfoRef(in.Op), w
+	} else {
+		e := m.fetchDecoded(tu)
+		if e == nil {
+			return
+		}
+		in, info, word = e.in, e.info, e.word
 	}
 
 	// Scoreboard: in-order issue waits for source operands.
@@ -386,7 +397,7 @@ func (m *Machine) execBranch(tu *TU, in isa.Inst, cycle uint64) (bool, uint32) {
 }
 
 // execFP dispatches a floating-point operation to the quad's shared FPU.
-func (m *Machine) execFP(tu *TU, in isa.Inst, info isa.Info, cycle uint64) {
+func (m *Machine) execFP(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) {
 	lat := &m.Chip.Cfg.Latencies
 	var exec, extra int
 	switch info.Class {
@@ -455,7 +466,7 @@ func (m *Machine) execFP(tu *TU, in isa.Inst, info isa.Info, cycle uint64) {
 // cycle the thread is free to continue (stores block on write-buffer
 // backpressure; loads free the thread immediately and deliver through the
 // scoreboard), and ok=false on trap.
-func (m *Machine) execMem(tu *TU, in isa.Inst, info isa.Info, cycle uint64) (freeAt uint64, ok bool) {
+func (m *Machine) execMem(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) (freeAt uint64, ok bool) {
 	size := memSize(in.Op)
 	var ea uint32
 	if info.Format == isa.FmtR { // atomics: address in B, no offset

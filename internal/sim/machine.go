@@ -46,6 +46,14 @@ type TU struct {
 
 	pib pibState
 
+	// pos is the unit's index in the machine's active list; the
+	// event-driven scheduler uses it to reproduce the legacy positional
+	// round-robin tie order.
+	pos int
+	// decPage / decPageKey hint the unit's current decode-cache page.
+	decPage    *decPage
+	decPageKey uint32
+
 	// RunCycles counts cycles spent busy computing; StallCycles counts
 	// cycles stalled on dependences, shared resources or fetch — the
 	// quantities Figure 7 reports.
@@ -101,6 +109,21 @@ type Machine struct {
 	active []*TU
 	rr     int
 
+	// Event-driven scheduler state: eq orders running units by their next
+	// issue cycle; batch is the reused buffer of units due at the current
+	// cycle.
+	eq    eventQueue
+	batch []*TU
+
+	// Decoded-instruction cache (see decode.go).
+	decPages map[uint32]*decPage
+	decGen   uint64
+
+	// legacy selects the seed engine: linear min-scan scheduling and
+	// per-issue decode. Kept for the equivalence tests that pin the
+	// event-driven engine to the seed's cycle-exact behavior.
+	legacy bool
+
 	// MaxCycles aborts runaway programs; 0 means no limit.
 	MaxCycles uint64
 
@@ -111,10 +134,16 @@ type Machine struct {
 	trap error
 }
 
+// LegacyEngine, when set before New, builds machines that run the seed
+// engine (O(active) min-scan per cycle, no decode cache). It exists so
+// tests can assert the optimized engine is cycle- and byte-identical;
+// production code leaves it false.
+var LegacyEngine bool
+
 // New builds a machine over a chip. Kernel may be nil for programs that
 // make no syscalls.
 func New(chip *core.Chip, kernel Syscaller) *Machine {
-	m := &Machine{Chip: chip, Kernel: kernel}
+	m := &Machine{Chip: chip, Kernel: kernel, legacy: LegacyEngine}
 	pibWords := uint32(chip.Cfg.PIBEntries * 4)
 	for i := 0; i < chip.Cfg.Threads; i++ {
 		m.TUs = append(m.TUs, &TU{
@@ -151,7 +180,11 @@ func (m *Machine) Start(tid int, pc uint32) error {
 	for r := range tu.ready {
 		tu.ready[r] = 0
 	}
+	tu.pos = len(m.active)
 	m.active = append(m.active, tu)
+	if !m.legacy {
+		m.eq.push(tu)
+	}
 	return nil
 }
 
@@ -165,7 +198,102 @@ func (m *Machine) Trap(format string, args ...interface{}) {
 
 // Run executes until every started thread halts, a trap fires, or the
 // cycle limit is hit. It returns the first trap, if any.
+//
+// The engine is event-driven: a min-heap over the units' next issue
+// cycles replaces the legacy per-cycle scan of the whole active list, so
+// cost scales with units actually issuing rather than units merely
+// alive. Tie order is the legacy rotating round-robin over active-list
+// positions, reproduced bit-for-bit (see sortBatch).
 func (m *Machine) Run() error {
+	if m.legacy {
+		return m.runLegacy()
+	}
+	for len(m.active) > 0 && m.trap == nil {
+		// Advance to the earliest pending issue cycle.
+		m.cycle = m.eq.min().nextAt
+		if m.MaxCycles > 0 && m.cycle > m.MaxCycles {
+			return fmt.Errorf("sim: cycle limit %d exceeded", m.MaxCycles)
+		}
+		// Pop every unit due this cycle and issue in round-robin order.
+		// Units started by a syscall during the batch land in the queue
+		// at the current cycle and form their own batch next iteration,
+		// exactly as the legacy engine's captured-length loop behaved.
+		m.batch = m.batch[:0]
+		for m.eq.Len() > 0 && m.eq.min().nextAt == m.cycle {
+			m.batch = append(m.batch, m.eq.pop())
+		}
+		n := len(m.active)
+		m.rr++
+		m.sortBatch(n)
+		anyHalted := false
+		for bi, tu := range m.batch {
+			m.step(tu)
+			if tu.State == Running {
+				m.eq.push(tu)
+			} else {
+				anyHalted = true
+			}
+			if m.trap != nil {
+				// Requeue the units this batch never reached.
+				for _, rest := range m.batch[bi+1:] {
+					m.eq.push(rest)
+				}
+				break
+			}
+		}
+		if anyHalted {
+			m.compact()
+		}
+	}
+	return m.trap
+}
+
+// sortBatch orders the due units the way the legacy engine visited them:
+// positions (i+rr)%n over the active list, i ascending. Batches are
+// almost always tiny, so an insertion sort beats sort.Slice here.
+func (m *Machine) sortBatch(n int) {
+	if len(m.batch) < 2 {
+		return
+	}
+	r := m.rr % n
+	key := func(tu *TU) int {
+		k := tu.pos - r
+		if k < 0 {
+			k += n
+		}
+		return k
+	}
+	for i := 1; i < len(m.batch); i++ {
+		tu := m.batch[i]
+		k := key(tu)
+		j := i - 1
+		for j >= 0 && key(m.batch[j]) > k {
+			m.batch[j+1] = m.batch[j]
+			j--
+		}
+		m.batch[j+1] = tu
+	}
+}
+
+// compact removes halted units from the active list, preserving order and
+// refreshing each survivor's position.
+func (m *Machine) compact() {
+	live := m.active[:0]
+	for _, tu := range m.active {
+		if tu.State == Running {
+			tu.pos = len(live)
+			live = append(live, tu)
+		} else {
+			tu.EndCycle = m.cycle
+		}
+	}
+	m.active = live
+}
+
+// runLegacy is the seed engine, byte-for-byte: linear min-scan over the
+// active list every cycle plus unconditional compaction. The equivalence
+// tests run every experiment through both engines and diff the tables.
+func (m *Machine) runLegacy() error {
 	for len(m.active) > 0 && m.trap == nil {
 		// Advance to the earliest pending issue cycle.
 		next := m.active[0].nextAt
