@@ -41,6 +41,7 @@ func main() {
 	scaleStr := flag.String("scale", "small", "experiment scale: small | full (paper parameters)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep worker pool size (1 = fully serial)")
+	stats := flag.Bool("stats", false, "report the run/stall cycle breakdown for STREAM and FFT (shorthand for -run breakdown)")
 	flag.Parse()
 
 	if *list {
@@ -66,8 +67,11 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
+	case *stats:
+		e, _ := harness.Lookup("breakdown")
+		exps = append(exps, e)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cyclops-bench -list | -run id[,id...] | -all  [-scale small|full] [-csv dir] [-parallel N]")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-bench -list | -run id[,id...] | -all | -stats  [-scale small|full] [-csv dir] [-parallel N]")
 		os.Exit(2)
 	}
 

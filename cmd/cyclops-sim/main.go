@@ -4,14 +4,18 @@
 // Usage:
 //
 //	cyclops-sim [-max N] [-balanced] [-stats] prog.s
-//	cyclops-sim prog.cyc
+//	cyclops-sim [-stats-json stats.json] [-trace-out trace.json] prog.cyc
 //
 // Assembly sources (any extension but .cyc) are assembled on the fly.
+// -trace-out writes a Chrome trace-event timeline (load it in Perfetto or
+// chrome://tracing); -stats-json writes the deterministic statistics
+// snapshot ("-" = stdout for both).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,26 +24,33 @@ import (
 	"cyclops/internal/core"
 	"cyclops/internal/image"
 	"cyclops/internal/kernel"
+	"cyclops/internal/obs"
 	"cyclops/internal/sim"
 )
 
 func main() {
 	maxCycles := flag.Uint64("max", 1_000_000_000, "cycle limit (0 = none)")
 	balanced := flag.Bool("balanced", false, "use the balanced thread allocation policy")
-	stats := flag.Bool("stats", false, "print per-thread and chip statistics")
+	stats := flag.Bool("stats", false, "print per-thread, stall-reason and resource statistics")
+	statsJSON := flag.String("stats-json", "", "write a deterministic JSON statistics snapshot to this file (- = stdout)")
 	trace := flag.Int("trace", 0, "dump the last N issued instructions after the run")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file (- = stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-max N] [-balanced] [-stats] [-trace N] prog.{s,cyc}")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] prog.{s,cyc}")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *maxCycles, *balanced, *stats, *trace); err != nil {
+	if err := run(flag.Arg(0), *maxCycles, *balanced, *stats, *statsJSON, *trace, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, maxCycles uint64, balanced, stats bool, trace int) error {
+// traceBufferLen sizes the ring when only -trace-out asks for tracing: big
+// enough to hold every issue of a typical run, small enough to stay cheap.
+const traceBufferLen = 1 << 20
+
+func run(path string, maxCycles uint64, balanced, stats bool, statsJSON string, trace int, traceOut string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -61,6 +72,8 @@ func run(path string, maxCycles uint64, balanced, stats bool, trace int) error {
 	k.Machine().MaxCycles = maxCycles
 	if trace > 0 {
 		k.Machine().Trace = sim.NewTraceBuffer(trace)
+	} else if traceOut != "" {
+		k.Machine().Trace = sim.NewTraceBuffer(traceBufferLen)
 	}
 	if err := k.Boot(prog); err != nil {
 		return err
@@ -76,7 +89,36 @@ func run(path string, maxCycles uint64, balanced, stats bool, trace int) error {
 	if stats {
 		printStats(k.Machine(), chip)
 	}
+	if statsJSON != "" {
+		err := writeTo(statsJSON, func(w io.Writer) error {
+			return k.Machine().Snapshot().WriteJSON(w)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := writeTo(traceOut, k.Machine().ChromeTrace); err != nil {
+			return err
+		}
+	}
 	return runErr
+}
+
+// writeTo streams output to the named file, or to stdout for "-".
+func writeTo(path string, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printStats(m *sim.Machine, chip *core.Chip) {
@@ -87,5 +129,39 @@ func printStats(m *sim.Machine, chip *core.Chip) {
 		}
 		fmt.Printf("%6d  %4d  %8d  %8d  %8d\n", tu.ID, tu.Quad, tu.Insts, tu.RunCycles, tu.StallCycles)
 	}
+	printBreakdown(m.TotalBreakdown())
+	printResources(chip.ResourceStats())
 	fmt.Print(chip.Utilization(m.Cycle()))
+}
+
+// printBreakdown lists the stall cycles by reason, largest contribution
+// visible at a glance via the share column.
+func printBreakdown(b obs.Breakdown) {
+	total := b.Total()
+	if total == 0 {
+		return
+	}
+	fmt.Println("stall breakdown:")
+	for r, v := range b {
+		if v == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s  %10d  %5.1f%%\n", obs.StallReason(r), v, 100*float64(v)/float64(total))
+	}
+}
+
+// printResources shows the busy/conflict telemetry for every resource that
+// saw traffic.
+func printResources(rs []obs.ResourceStats) {
+	header := false
+	for _, r := range rs {
+		if r.Grants == 0 && r.Busy == 0 {
+			continue
+		}
+		if !header {
+			fmt.Println("resource        busy    grants  conflicts      wait")
+			header = true
+		}
+		fmt.Printf("%-9s %2d  %8d  %8d  %9d  %8d\n", r.Kind, r.ID, r.Busy, r.Grants, r.Conflicts, r.WaitCycles)
+	}
 }

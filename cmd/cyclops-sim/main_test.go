@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -20,11 +21,27 @@ func TestRunSourceWithStatsAndTrace(t *testing.T) {
 	if err := os.WriteFile(src, []byte(helloSrc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(src, 100000, false, true, 8); err != nil {
+	if err := run(src, 100000, false, true, "", 8, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(src, 100000, true, false, 0); err != nil {
+	if err := run(src, 100000, true, false, "", 0, ""); err != nil {
 		t.Fatal(err)
+	}
+	// -stats-json and -trace-out write well-formed files.
+	statsPath := filepath.Join(dir, "stats.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := run(src, 100000, false, false, statsPath, 0, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{statsPath, tracePath} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]interface{}
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Errorf("%s: not valid JSON: %v", filepath.Base(p), err)
+		}
 	}
 }
 
@@ -36,19 +53,19 @@ func TestRunImageFile(t *testing.T) {
 	// Assemble inline to avoid depending on the other command.
 	data, _ := os.ReadFile(src)
 	_ = data
-	if err := run(src, 1000, false, false, 0); err != nil {
+	if err := run(src, 1000, false, false, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFailures(t *testing.T) {
-	if err := run("/nonexistent.s", 1000, false, false, 0); err == nil {
+	if err := run("/nonexistent.s", 1000, false, false, "", 0, ""); err == nil {
 		t.Error("missing file accepted")
 	}
 	dir := t.TempDir()
 	spin := filepath.Join(dir, "spin.s")
 	os.WriteFile(spin, []byte("x:\tb x\n"), 0o644)
-	if err := run(spin, 2000, false, false, 0); err == nil {
+	if err := run(spin, 2000, false, false, "", 0, ""); err == nil {
 		t.Error("cycle-limit overrun not reported")
 	}
 }

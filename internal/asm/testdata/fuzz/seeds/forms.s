@@ -1,0 +1,51 @@
+; One of everything: every format, the SPR moves, the atomics and the
+; floating-point family, plus an unaligned tail. Fuzz seed only.
+	.org 0x200
+_start:	lui    r8, 0x12
+	ori    r8, r8, 0x345
+	mfspr  r9, 4
+	mtspr  r9, 4
+	sync
+	amoadd r10, (r8), r9
+	amoswap r11, (r8), r9
+	amocas r12, (r8), r9
+	ld     d16, 0(r8)
+	fadd   r20, r16, r18
+	fsub   r22, r20, r16
+	fmul   r24, r20, r22
+	fdiv   r26, r24, r20
+	fsqrt  r28, r24
+	fma    r30, r16, r18, r20
+	fms    r32, r16, r18, r20
+	fneg   r34, r30
+	fabs   r36, r34
+	fmov   r38, r36
+	fcvtdw r40, r8
+	fcvtwd r42, r40
+	fceq   r13, r16, r18
+	fclt   r14, r16, r18
+	fcle   r15, r16, r18
+	sd     d16, 8(r8)
+	sh     r9, 2(r8)
+	sb     r9, 1(r8)
+	lh     r9, 2(r8)
+	lhu    r9, 2(r8)
+	lb     r9, 1(r8)
+	lbu    r9, 1(r8)
+	mul    r10, r9, r8
+	div    r11, r10, r9
+	divu   r12, r10, r9
+	slti   r13, r9, -7
+	sltiu  r13, r9, 7
+	jal    r2, next
+next:	jalr   r2, 0(r2)
+	beq    r0, r0, done
+	bne    r0, r9, done
+	blt    r0, r9, done
+	bge    r9, r0, done
+	bltu   r0, r9, done
+	bgeu   r9, r0, done
+done:	syscall
+	halt
+	.word 0xdeadbeef
+	.byte 1

@@ -1,0 +1,108 @@
+	.equ NW,     32			; reduction workers
+	.equ BLK,    1024		; off-chip block bytes
+	.equ BATCH,  32			; blocks staged per batch
+	.equ TOTALB, 65536		; total blocks = 64 MB
+
+_start:	; workers sum staged words when signalled; main streams blocks in.
+	li   r8, 1
+	li   r9, NW
+spawn:	li   a0, 3
+	la   a1, worker
+	mov  a2, r8
+	syscall
+	addi r8, r8, 1
+	bleu r8, r9, spawn		; workers get indices 1..NW
+
+	; main: for each batch: read BATCH blocks, then barrier-run workers
+	li   r22, 0			; batch base block index
+	li   r26, 1			; barrier masks
+	li   r27, 2
+mainlp:	li   r23, 0			; block within batch
+rdloop:	li   a0, 6			; SysOffChipRead a1=ext a2=emb
+	add  r9, r22, r23
+	slli a1, r9, 10			; ext addr = block * 1 KB
+	la   a2, stage
+	slli r10, r23, 10
+	add  a2, a2, r10
+	syscall
+	addi r23, r23, 1
+	li   r9, BATCH
+	blt  r23, r9, rdloop
+	; release workers for this batch, wait for them to finish
+	mtspr r27, 4
+mspin:	mfspr r9, 4
+	and  r9, r9, r26
+	bne  r9, r0, mspin
+	mov  r9, r26
+	mov  r26, r27
+	mov  r27, r9
+	mtspr r27, 4			; second barrier: batch done
+mspin2:	mfspr r9, 4
+	and  r9, r9, r26
+	bne  r9, r0, mspin2
+	mov  r9, r26
+	mov  r26, r27
+	mov  r27, r9
+	addi r22, r22, BATCH
+	li   r9, TOTALB
+	blt  r22, r9, mainlp
+	; publish and exit: signal workers to halt via the done flag
+	la   r9, done
+	li   r10, 1
+	sw   r10, 0(r9)
+	mtspr r27, 4			; let workers pass the entry barrier
+	la   r9, total
+	lw   a1, 0(r9)
+	li   a0, 2
+	syscall
+	li   a0, 0
+	syscall
+
+worker:	mov  r30, a0			; index 1..NW-1? indices start at 1
+	li   r26, 1
+	li   r27, 2
+wloop:	; entry barrier: wait for a staged batch
+	mtspr r27, 4
+wspin:	mfspr r9, 4
+	and  r9, r9, r26
+	bne  r9, r0, wspin
+	mov  r9, r26
+	mov  r26, r27
+	mov  r27, r9
+	la   r9, done
+	lw   r10, 0(r9)
+	bne  r10, r0, wout
+	; sum my slice of the staged batch: BATCH KB / NW words each
+	.equ WORDS, BATCH*BLK/4
+	.equ CHUNK, WORDS/NW
+	addi r11, r30, -1		; worker index 0-based
+	li   r12, CHUNK*4
+	mul  r13, r11, r12
+	la   r14, stage
+	add  r14, r14, r13
+	li   r15, CHUNK
+	li   r16, 0
+sum:	lw   r17, 0(r14)
+	add  r16, r16, r17
+	addi r14, r14, 4
+	addi r15, r15, -1
+	bne  r15, r0, sum
+	la   r18, total
+	amoadd r19, (r18), r16
+	; exit barrier for this batch
+	mtspr r27, 4
+wspin2:	mfspr r9, 4
+	and  r9, r9, r26
+	bne  r9, r0, wspin2
+	mov  r9, r26
+	mov  r26, r27
+	mov  r27, r9
+	b    wloop
+wout:	li   a0, 0
+	syscall
+
+	.align 64
+total:	.word 0
+done:	.word 0
+	.align 1024
+stage:	.space BATCH*BLK

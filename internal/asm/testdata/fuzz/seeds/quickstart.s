@@ -1,0 +1,70 @@
+	.equ NW, 16		; workers
+	.equ N,  4096		; array elements
+
+_start:	; fill data[i] = i+1 (main thread)
+	la   r8, data
+	li   r9, 1
+	li   r10, N
+fill:	sw   r9, 0(r8)
+	addi r8, r8, 4
+	addi r9, r9, 1
+	bleu r9, r10, fill
+
+	; spawn NW workers, arg = worker index
+	li   r8, 0
+	la   r16, tids
+spawn:	li   a0, 3		; SysSpawn
+	la   a1, worker
+	mov  a2, r8
+	syscall
+	sw   a0, 0(r16)
+	addi r16, r16, 4
+	addi r8, r8, 1
+	slti r9, r8, NW
+	bne  r9, r0, spawn
+
+	; join them all
+	li   r8, 0
+	la   r16, tids
+join:	li   a0, 4		; SysJoin
+	lw   a1, 0(r16)
+	syscall
+	addi r16, r16, 4
+	addi r8, r8, 1
+	slti r9, r8, NW
+	bne  r9, r0, join
+
+	; print the total
+	la   r9, total
+	lw   a1, 0(r9)
+	li   a0, 2		; SysPutInt
+	syscall
+	li   a0, 1		; newline
+	li   a1, '\n'
+	syscall
+	li   a0, 0
+	syscall
+
+worker:	; sum my slice [index*N/NW, (index+1)*N/NW)
+	li   r9, N/NW
+	mul  r10, a0, r9	; start element
+	la   r8, data
+	slli r11, r10, 2
+	add  r8, r8, r11
+	li   r12, 0		; local sum
+	mov  r13, r9		; count
+wloop:	lw   r14, 0(r8)
+	add  r12, r12, r14
+	addi r8, r8, 4
+	addi r13, r13, -1
+	bne  r13, r0, wloop
+	la   r15, total
+	amoadd r16, (r15), r12
+	li   a0, 0
+	syscall
+
+	.align 64
+total:	.word 0
+tids:	.space 4*NW
+	.align 64
+data:	.space 4*N

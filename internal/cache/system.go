@@ -3,6 +3,7 @@ package cache
 import (
 	"cyclops/internal/arch"
 	"cyclops/internal/mem"
+	"cyclops/internal/obs"
 )
 
 // Where classifies where a data access was satisfied, matching the four
@@ -47,6 +48,12 @@ type Access struct {
 	Where Where
 	// Cache is the data cache that served the access.
 	Cache int
+	// PortWait is the cycles the access queued for the cache's single
+	// port; BankWait the extra delay from DRAM bank occupancy (fill
+	// queueing, write-buffer backpressure, in-flight line waits). The
+	// engines use them to split a stall between CachePortStall and
+	// BankConflictStall.
+	PortWait, BankWait uint64
 }
 
 // System is the data side of the memory hierarchy: the 32 quad caches, the
@@ -62,6 +69,11 @@ type System struct {
 	port []uint64
 	// portBusy accumulates per-cache port occupancy for utilization.
 	portBusy []uint64
+	// portGrants/portConflicts/portWait are the per-port telemetry the
+	// observability layer exports (obs.ResourceStats).
+	portGrants    []uint64
+	portConflicts []uint64
+	portWait      []uint64
 	// lineShift is log2(DCacheLine) for interest-group scrambling.
 	lineShift uint
 	// fillPortCycles is the port occupancy of a line fill.
@@ -84,6 +96,9 @@ func NewSystem(cfg arch.Config, m *mem.Memory) *System {
 		Caches:         make([]*DCache, n),
 		port:           make([]uint64, n),
 		portBusy:       make([]uint64, n),
+		portGrants:     make([]uint64, n),
+		portConflicts:  make([]uint64, n),
+		portWait:       make([]uint64, n),
 		fillPortCycles: uint64(cfg.DCacheLine / cfg.DCachePortBytes),
 		disabledQuads:  make(map[int]bool),
 	}
@@ -155,12 +170,14 @@ func (s *System) Load(now uint64, ea uint32, size int, ownCache int) Access {
 		}
 		s.Counts[w]++
 		done := start + extra
+		var bankWait uint64
 		if ready > done {
 			// The line is still in flight from a concurrent miss;
 			// the access completes when the fill does.
+			bankWait = ready - done
 			done = ready
 		}
-		return Access{Done: done, Where: w, Cache: c}
+		return Access{Done: done, Where: w, Cache: c, PortWait: start - now, BankWait: bankWait}
 	}
 
 	// Miss: fill the line from its bank and install it. The fill
@@ -179,7 +196,7 @@ func (s *System) Load(now uint64, ea uint32, size int, ownCache int) Access {
 	// The Table 2 miss latencies are unloaded; queueing at the bank adds
 	// on top. fillDone-start-burst is exactly the queueing delay.
 	queue := fillDone - start - uint64(s.Cfg.MemBurstCycles)
-	return Access{Done: start + extra + queue, Where: w, Cache: c}
+	return Access{Done: start + extra + queue, Where: w, Cache: c, PortWait: start - now, BankWait: queue}
 }
 
 // Store times a write-through store. The thread normally proceeds after
@@ -196,10 +213,12 @@ func (s *System) Store(now uint64, ea uint32, size int, ownCache int) Access {
 	admit := s.Mem.WriteThrough(start, phys, size)
 	s.Counts[StoreThrough]++
 	done := start + 1
+	var bankWait uint64
 	if admit > done {
+		bankWait = admit - done
 		done = admit
 	}
-	return Access{Done: done, Where: StoreThrough, Cache: c}
+	return Access{Done: done, Where: StoreThrough, Cache: c, PortWait: start - now, BankWait: bankWait}
 }
 
 // Atomic times a read-modify-write (amoadd/amoswap/amocas). It behaves as
@@ -220,6 +239,13 @@ func (s *System) takePort(c int, now uint64, n uint64) uint64 {
 	start := now
 	if s.port[c] > start {
 		start = s.port[c]
+		if obs.Enabled {
+			s.portConflicts[c]++
+			s.portWait[c] += start - now
+		}
+	}
+	if obs.Enabled {
+		s.portGrants[c]++
 	}
 	s.port[c] = start + n
 	s.portBusy[c] += n
@@ -229,6 +255,18 @@ func (s *System) takePort(c int, now uint64, n uint64) uint64 {
 // PortBusy returns cache c's accumulated port occupancy in cycles.
 func (s *System) PortBusy(c int) uint64 { return s.portBusy[c] }
 
+// PortStats returns cache c's port telemetry for the observability layer.
+func (s *System) PortStats(c int) obs.ResourceStats {
+	return obs.ResourceStats{
+		Kind:       "cacheport",
+		ID:         c,
+		Busy:       s.portBusy[c],
+		Grants:     s.portGrants[c],
+		Conflicts:  s.portConflicts[c],
+		WaitCycles: s.portWait[c],
+	}
+}
+
 // Reset clears timing and tag state for a fresh experiment run.
 func (s *System) Reset() {
 	for i := range s.Caches {
@@ -236,6 +274,9 @@ func (s *System) Reset() {
 		s.Caches[i].ResetStats()
 		s.port[i] = 0
 		s.portBusy[i] = 0
+		s.portGrants[i] = 0
+		s.portConflicts[i] = 0
+		s.portWait[i] = 0
 	}
 	s.Counts = [5]uint64{}
 	s.Mem.ResetTiming()

@@ -17,6 +17,7 @@ import (
 	"cyclops/internal/cache"
 	"cyclops/internal/isa"
 	"cyclops/internal/mem"
+	"cyclops/internal/obs"
 )
 
 // FPU is one quad's floating-point unit: an adder and a multiplier, each
@@ -26,6 +27,10 @@ import (
 type FPU struct {
 	addFree, mulFree, divFree uint64
 	Ops                       uint64
+	// Busy accumulates pipe-occupancy cycles; Conflicts counts dispatches
+	// that found their pipe busy and WaitCycles the delay they queued —
+	// the per-FPU telemetry the observability layer exports.
+	Busy, Conflicts, WaitCycles uint64
 }
 
 // Dispatch reserves the pipes needed by pipe for exec cycles, starting no
@@ -34,6 +39,7 @@ type FPU struct {
 // divide/sqrt unit is not (busy for the whole exec).
 func (f *FPU) Dispatch(now uint64, pipe isa.FPUPipe, exec int) uint64 {
 	start := now
+	occupancy := uint64(1)
 	switch pipe {
 	case isa.PipeAdd:
 		if f.addFree > start {
@@ -54,16 +60,37 @@ func (f *FPU) Dispatch(now uint64, pipe isa.FPUPipe, exec int) uint64 {
 		}
 		f.addFree = start + 1
 		f.mulFree = start + 1
+		occupancy = 2
 	case isa.PipeDiv:
 		if f.divFree > start {
 			start = f.divFree
 		}
 		f.divFree = start + uint64(exec)
+		occupancy = uint64(exec)
 	default:
 		return now
 	}
 	f.Ops++
+	if obs.Enabled {
+		f.Busy += occupancy
+		if start > now {
+			f.Conflicts++
+			f.WaitCycles += start - now
+		}
+	}
 	return start
+}
+
+// Stats returns the FPU's telemetry for the observability layer.
+func (f *FPU) Stats(id int) obs.ResourceStats {
+	return obs.ResourceStats{
+		Kind:       "fpu",
+		ID:         id,
+		Busy:       f.Busy,
+		Grants:     f.Ops,
+		Conflicts:  f.Conflicts,
+		WaitCycles: f.WaitCycles,
+	}
 }
 
 // Reset clears timing state.
@@ -166,6 +193,24 @@ func (c *Chip) ResetTiming() {
 		f.Reset()
 	}
 	c.Barrier.Reset()
+}
+
+// ResourceStats collects the telemetry of every contended shared resource
+// — quad cache ports, DRAM banks, quad FPUs — in a fixed deterministic
+// order (cache ports, then banks, then FPUs, each by ID).
+func (c *Chip) ResourceStats() []obs.ResourceStats {
+	quads := c.Cfg.Quads()
+	out := make([]obs.ResourceStats, 0, quads*2+c.Mem.Banks())
+	for q := 0; q < quads; q++ {
+		out = append(out, c.Data.PortStats(q))
+	}
+	for b := 0; b < c.Mem.Banks(); b++ {
+		out = append(out, c.Mem.BankStats(b))
+	}
+	for q, f := range c.FPUs {
+		out = append(out, f.Stats(q))
+	}
+	return out
 }
 
 // LoadImage copies a program image into embedded memory.

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+
+	"cyclops/internal/harness/sweep"
+	"cyclops/internal/kernel"
+	"cyclops/internal/obs"
+	"cyclops/internal/splash"
+	"cyclops/internal/stream"
+)
+
+// Breakdown regenerates the Figure-7-style run/stall decomposition
+// directly from the stall-reason counters, on both engines: STREAM Copy
+// through the instruction-level simulator and the FFT kernel (hardware
+// and software barriers) through the direct-execution runtime. Each cell
+// is the share of total accounted cycles (run + stall); the per-reason
+// shares and the run share sum to 100%.
+func Breakdown(s Scale) (*Table, error) {
+	streamThreads := []int{1, 4, 16}
+	fftN, fftThreads := 4096, 16
+	if s == Full {
+		streamThreads = []int{1, 4, 16, 64, 126}
+		fftN, fftThreads = 65536, 64
+	}
+
+	cols := []string{"workload", "engine", "threads", "run %"}
+	for _, r := range obs.ReasonNames() {
+		cols = append(cols, r+" %")
+	}
+	cols = append(cols, "cycles")
+	t := &Table{
+		ID:      "breakdown",
+		Title:   "Run/stall decomposition by reason (% of accounted cycles)",
+		Columns: cols,
+	}
+
+	// bd is one workload's accounting; cycles is the run+stall total the
+	// percentages are taken over.
+	type bd struct {
+		run, stall uint64
+		stalls     obs.Breakdown
+	}
+	type point struct {
+		workload, engine string
+		threads          int
+		run              func() (bd, error)
+	}
+	pts := make([]point, 0, len(streamThreads)+2)
+	for _, tc := range streamThreads {
+		tc := tc
+		pts = append(pts, point{"STREAM Copy", "sim", tc, func() (bd, error) {
+			r, err := stream.Run(stream.Params{
+				Kernel: stream.Copy, Threads: tc, N: tc * 1000, Local: true, Reps: 2,
+			}, kernel.Sequential)
+			if err != nil {
+				return bd{}, err
+			}
+			return bd{r.Run, r.Stall, r.Stalls}, nil
+		}})
+	}
+	for _, kind := range []splash.BarrierKind{splash.HW, splash.SW} {
+		kind := kind
+		pts = append(pts, point{"FFT " + kind.String() + " barrier", "perf", fftThreads, func() (bd, error) {
+			r, err := splash.RunFFT(splash.FFTOpts{
+				Config: splash.Config{Threads: fftThreads, Barrier: kind}, N: fftN,
+			})
+			if err != nil {
+				return bd{}, err
+			}
+			return bd{r.Run, r.Stall, r.Stalls}, nil
+		}})
+	}
+
+	res, err := sweep.Map(pts, func(p point) (bd, error) { return p.run() })
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		r := res[i]
+		if got := r.stalls.Total(); obs.Enabled && got != r.stall {
+			return nil, fmt.Errorf("harness: %s (%s, %d threads): per-reason stalls sum to %d, legacy total is %d",
+				p.workload, p.engine, p.threads, got, r.stall)
+		}
+		total := r.run + r.stall
+		pct := func(v uint64) string {
+			if total == 0 {
+				return "-"
+			}
+			return f1(100 * float64(v) / float64(total))
+		}
+		row := []string{p.workload, p.engine, fmt.Sprintf("%d", p.threads), pct(r.run)}
+		for _, v := range r.stalls {
+			row = append(row, pct(v))
+		}
+		row = append(row, fmt.Sprintf("%d", total))
+		t.AddRow(row...)
+	}
+	t.Note("cycles = run+stall summed over all thread units; per-reason shares + run share = 100%%")
+	t.Note("counters: dep = scoreboard, cacheport/bankconflict = memory system, fpu = quad FPU, icache = fetch, barrier = sw-barrier spin, sleep = kernel waits")
+	return t, nil
+}

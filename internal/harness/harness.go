@@ -128,6 +128,7 @@ func Experiments() []Experiment {
 		{"fig7a", "HW vs SW barriers, 256-point FFT", fig7Variant(256)},
 		{"fig7b", "HW vs SW barriers, 64K-point FFT", fig7Variant(65536)},
 		{"microbarrier", "Barrier latency microbenchmark", MicroBarrier},
+		{"breakdown", "Run/stall decomposition by stall reason (both engines)", Breakdown},
 		{"apps", "Section 5 target applications (extension)", Apps},
 		{"fault", "Degraded-chip bandwidth (extension)", Fault},
 		{"mesh", "Multi-chip weak scaling (extension)", Mesh},

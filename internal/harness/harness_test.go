@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"cyclops/internal/obs"
 )
 
 func TestParseScale(t *testing.T) {
@@ -38,7 +40,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "microbarrier", "apps", "fault", "mesh"}
+	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "microbarrier", "breakdown", "apps", "fault", "mesh"}
 	if len(exps) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(want))
 	}
@@ -203,6 +205,47 @@ func TestMicroBarrier(t *testing.T) {
 		if hw >= sw {
 			t.Errorf("row %d: hw barrier (%v cycles) not cheaper than sw (%v)", i, hw, sw)
 		}
+	}
+}
+
+func TestBreakdownShares(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("counters compiled out")
+	}
+	tab, err := Breakdown(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows, want 3 STREAM + 2 FFT", len(tab.Rows))
+	}
+	// Columns: workload, engine, threads, run %, 7 reason %, cycles.
+	if len(tab.Columns) != 12 {
+		t.Fatalf("%d columns, want 12", len(tab.Columns))
+	}
+	for i := range tab.Rows {
+		sum := 0.0
+		for col := 3; col <= 10; col++ {
+			sum += cell(t, tab, i, col)
+		}
+		// Run share plus every stall share covers all accounted cycles
+		// (rounding each cell to 0.1% leaves at most ±0.4 slack).
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("row %d shares sum to %.1f%%, want 100%%", i, sum)
+		}
+	}
+	// The sw-barrier FFT row spends real time in barrier stalls; the
+	// hw-barrier row spends none (spinning counts as run cycles).
+	hwRow, swRow := 3, 4
+	barrierCol := 9 // "barrier %"
+	if got := tab.Columns[barrierCol]; got != "barrier %" {
+		t.Fatalf("column %d = %q, want barrier %%", barrierCol, got)
+	}
+	if v := cell(t, tab, swRow, barrierCol); v <= 0 {
+		t.Errorf("sw-barrier FFT barrier share = %v%%, want > 0", v)
+	}
+	if v := cell(t, tab, hwRow, barrierCol); v != 0 {
+		t.Errorf("hw-barrier FFT barrier share = %v%%, want 0", v)
 	}
 }
 

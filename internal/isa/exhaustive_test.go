@@ -1,0 +1,169 @@
+package isa
+
+import "testing"
+
+// encCase is one explicit encode/decode expectation.
+type encCase struct {
+	in Inst
+	// asm is the expected disassembly; empty skips the String check.
+	asm string
+}
+
+// encCases holds at least one hand-written case per opcode, including the
+// boundary immediates of every format and the SPR / barrier / atomic
+// forms. TestEncodeDecodeExhaustive fails with the opcode name when a new
+// opcode is added without a case here.
+var encCases = map[Op][]encCase{
+	OpADD:  {{Inst{Op: OpADD, A: 3, B: 4, C: 5}, "add r3, r4, r5"}},
+	OpSUB:  {{Inst{Op: OpSUB, A: 63, B: 0, C: 63}, "sub r63, r0, r63"}},
+	OpAND:  {{Inst{Op: OpAND, A: 1, B: 2, C: 3}, "and r1, r2, r3"}},
+	OpOR:   {{Inst{Op: OpOR, A: 1, B: 2, C: 3}, "or r1, r2, r3"}},
+	OpXOR:  {{Inst{Op: OpXOR, A: 1, B: 2, C: 3}, "xor r1, r2, r3"}},
+	OpNOR:  {{Inst{Op: OpNOR, A: 1, B: 2, C: 3}, "nor r1, r2, r3"}},
+	OpSLL:  {{Inst{Op: OpSLL, A: 1, B: 2, C: 3}, "sll r1, r2, r3"}},
+	OpSRL:  {{Inst{Op: OpSRL, A: 1, B: 2, C: 3}, "srl r1, r2, r3"}},
+	OpSRA:  {{Inst{Op: OpSRA, A: 1, B: 2, C: 3}, "sra r1, r2, r3"}},
+	OpSLT:  {{Inst{Op: OpSLT, A: 1, B: 2, C: 3}, "slt r1, r2, r3"}},
+	OpSLTU: {{Inst{Op: OpSLTU, A: 1, B: 2, C: 3}, "sltu r1, r2, r3"}},
+	OpMUL:  {{Inst{Op: OpMUL, A: 1, B: 2, C: 3}, "mul r1, r2, r3"}},
+	OpDIV:  {{Inst{Op: OpDIV, A: 1, B: 2, C: 3}, "div r1, r2, r3"}},
+	OpDIVU: {{Inst{Op: OpDIVU, A: 1, B: 2, C: 3}, "divu r1, r2, r3"}},
+
+	OpADDI: {
+		{Inst{Op: OpADDI, A: 9, B: 9, Imm: MaxImm13}, "addi r9, r9, 4095"},
+		{Inst{Op: OpADDI, A: 9, B: 9, Imm: MinImm13}, "addi r9, r9, -4096"},
+	},
+	// Logical immediates and shift amounts are zero-extended: the full
+	// 13-bit unsigned range must survive.
+	OpANDI:  {{Inst{Op: OpANDI, A: 1, B: 2, Imm: 0x1fff}, "andi r1, r2, 8191"}},
+	OpORI:   {{Inst{Op: OpORI, A: 1, B: 2, Imm: 0x1fff}, "ori r1, r2, 8191"}},
+	OpXORI:  {{Inst{Op: OpXORI, A: 1, B: 2, Imm: 0x1000}, "xori r1, r2, 4096"}},
+	OpSLLI:  {{Inst{Op: OpSLLI, A: 1, B: 2, Imm: 31}, "slli r1, r2, 31"}},
+	OpSRLI:  {{Inst{Op: OpSRLI, A: 1, B: 2, Imm: 31}, "srli r1, r2, 31"}},
+	OpSRAI:  {{Inst{Op: OpSRAI, A: 1, B: 2, Imm: 31}, "srai r1, r2, 31"}},
+	OpSLTI:  {{Inst{Op: OpSLTI, A: 1, B: 2, Imm: -1}, "slti r1, r2, -1"}},
+	OpSLTIU: {{Inst{Op: OpSLTIU, A: 1, B: 2, Imm: -1}, "sltiu r1, r2, -1"}},
+	OpLUI: {
+		{Inst{Op: OpLUI, A: 8, Imm: MaxUImm19}, "lui r8, 524287"},
+		{Inst{Op: OpLUI, A: 8, Imm: 0}, "lui r8, 0"},
+	},
+
+	OpLW:  {{Inst{Op: OpLW, A: 4, B: 1, Imm: 16}, "lw r4, 16(r1)"}},
+	OpLH:  {{Inst{Op: OpLH, A: 4, B: 1, Imm: -2}, "lh r4, -2(r1)"}},
+	OpLHU: {{Inst{Op: OpLHU, A: 4, B: 1, Imm: 2}, "lhu r4, 2(r1)"}},
+	OpLB:  {{Inst{Op: OpLB, A: 4, B: 1, Imm: 1}, "lb r4, 1(r1)"}},
+	OpLBU: {{Inst{Op: OpLBU, A: 4, B: 1, Imm: 1}, "lbu r4, 1(r1)"}},
+	OpLD:  {{Inst{Op: OpLD, A: 16, B: 8, Imm: 8}, "ld r16, 8(r8)"}},
+
+	OpSW: {{Inst{Op: OpSW, A: 4, B: 1, Imm: -16}, "sw r4, -16(r1)"}},
+	OpSH: {{Inst{Op: OpSH, A: 4, B: 1, Imm: 2}, "sh r4, 2(r1)"}},
+	OpSB: {{Inst{Op: OpSB, A: 4, B: 1, Imm: 1}, "sb r4, 1(r1)"}},
+	OpSD: {{Inst{Op: OpSD, A: 16, B: 8, Imm: 8}, "sd r16, 8(r8)"}},
+
+	OpBEQ:  {{Inst{Op: OpBEQ, A: 1, B: 2, Imm: -4}, "beq r1, r2, -4"}},
+	OpBNE:  {{Inst{Op: OpBNE, A: 1, B: 2, Imm: MaxImm13}, "bne r1, r2, 4095"}},
+	OpBLT:  {{Inst{Op: OpBLT, A: 1, B: 2, Imm: MinImm13}, "blt r1, r2, -4096"}},
+	OpBGE:  {{Inst{Op: OpBGE, A: 1, B: 2, Imm: 0}, "bge r1, r2, 0"}},
+	OpBLTU: {{Inst{Op: OpBLTU, A: 1, B: 2, Imm: 7}, "bltu r1, r2, 7"}},
+	OpBGEU: {{Inst{Op: OpBGEU, A: 1, B: 2, Imm: -7}, "bgeu r1, r2, -7"}},
+
+	OpJAL: {
+		{Inst{Op: OpJAL, A: RLR, Imm: MaxImm19}, "jal r2, 262143"},
+		{Inst{Op: OpJAL, A: RZero, Imm: MinImm19}, "jal r0, -262144"},
+	},
+	OpJALR: {{Inst{Op: OpJALR, A: RLR, B: 2, Imm: 0}, "jalr r2, 0(r2)"}},
+
+	OpFADD:   {{Inst{Op: OpFADD, A: 20, B: 16, C: 18}, "fadd r20, r16, r18"}},
+	OpFSUB:   {{Inst{Op: OpFSUB, A: 20, B: 16, C: 18}, "fsub r20, r16, r18"}},
+	OpFMUL:   {{Inst{Op: OpFMUL, A: 20, B: 16, C: 18}, "fmul r20, r16, r18"}},
+	OpFDIV:   {{Inst{Op: OpFDIV, A: 20, B: 16, C: 18}, "fdiv r20, r16, r18"}},
+	OpFSQRT:  {{Inst{Op: OpFSQRT, A: 20, B: 16}, "fsqrt r20, r16"}},
+	OpFMA:    {{Inst{Op: OpFMA, A: 20, B: 16, C: 18, D: 22}, "fma r20, r16, r18, r22"}},
+	OpFMS:    {{Inst{Op: OpFMS, A: 20, B: 16, C: 18, D: 22}, "fms r20, r16, r18, r22"}},
+	OpFNEG:   {{Inst{Op: OpFNEG, A: 20, B: 16}, "fneg r20, r16"}},
+	OpFABS:   {{Inst{Op: OpFABS, A: 20, B: 16}, "fabs r20, r16"}},
+	OpFMOV:   {{Inst{Op: OpFMOV, A: 20, B: 16}, "fmov r20, r16"}},
+	OpFCVTDW: {{Inst{Op: OpFCVTDW, A: 20, B: 8}, "fcvtdw r20, r8"}},
+	OpFCVTWD: {{Inst{Op: OpFCVTWD, A: 8, B: 20}, "fcvtwd r8, r20"}},
+	OpFCEQ:   {{Inst{Op: OpFCEQ, A: 9, B: 16, C: 18}, "fceq r9, r16, r18"}},
+	OpFCLT:   {{Inst{Op: OpFCLT, A: 9, B: 16, C: 18}, "fclt r9, r16, r18"}},
+	OpFCLE:   {{Inst{Op: OpFCLE, A: 9, B: 16, C: 18}, "fcle r9, r16, r18"}},
+
+	// Atomics address through (ra) and print in the memory form.
+	OpAMOADD:  {{Inst{Op: OpAMOADD, A: 10, B: 8, C: 9}, "amoadd r10, (r8), r9"}},
+	OpAMOSWAP: {{Inst{Op: OpAMOSWAP, A: 10, B: 8, C: 9}, "amoswap r10, (r8), r9"}},
+	OpAMOCAS:  {{Inst{Op: OpAMOCAS, A: 10, B: 8, C: 9}, "amocas r10, (r8), r9"}},
+
+	// SPR moves: the immediate selects the register, including the
+	// wired-OR barrier SPR.
+	OpMFSPR: {
+		{Inst{Op: OpMFSPR, A: 9, Imm: SPRBarrier}, "mfspr r9, 4"},
+		{Inst{Op: OpMFSPR, A: 9, Imm: SPRTid}, "mfspr r9, 0"},
+		{Inst{Op: OpMFSPR, A: 9, Imm: SPRCycle}, "mfspr r9, 2"},
+	},
+	OpMTSPR: {
+		{Inst{Op: OpMTSPR, A: 9, Imm: SPRBarrier}, "mtspr r9, 4"},
+		{Inst{Op: OpMTSPR, A: 9, Imm: NumSPRs - 1}, "mtspr r9, 7"},
+	},
+	OpSYNC: {{Inst{Op: OpSYNC}, "sync"}},
+
+	OpSYSCALL: {{Inst{Op: OpSYSCALL}, "syscall"}},
+	OpHALT:    {{Inst{Op: OpHALT}, "halt"}},
+}
+
+// TestEncodeDecodeExhaustive walks every opcode in the ISA: each must
+// have at least one explicit case, and each case must encode, decode back
+// to the identical Inst, and disassemble to the expected text. Failures
+// name the opcode.
+func TestEncodeDecodeExhaustive(t *testing.T) {
+	for op := Op(1); op < NumOps; op++ {
+		cases, ok := encCases[op]
+		if !ok || len(cases) == 0 {
+			t.Errorf("%s: no encode/decode case — add one to encCases", op)
+			continue
+		}
+		for _, c := range cases {
+			w, err := c.in.Encode()
+			if err != nil {
+				t.Errorf("%s: encode %+v: %v", op, c.in, err)
+				continue
+			}
+			if got := Decode(w); got != c.in {
+				t.Errorf("%s: decode(%#x) = %+v, want %+v", op, w, got, c.in)
+			}
+			if back := Decode(w).String(); c.asm != "" && back != c.asm {
+				t.Errorf("%s: disassembles to %q, want %q", op, back, c.asm)
+			}
+			// The opcode field must survive unmodified in the top bits.
+			if got := Op(w >> 25); got != op {
+				t.Errorf("%s: opcode field encodes as %d", op, got)
+			}
+		}
+	}
+	for op := range encCases {
+		if op == OpInvalid || op >= NumOps {
+			t.Errorf("encCases lists out-of-range opcode %d", op)
+		}
+	}
+}
+
+// TestImmediateBoundsRejected drives every immediate format one past its
+// limit and expects an error naming the instruction.
+func TestImmediateBoundsRejected(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Imm: MaxImm13 + 1},
+		{Op: OpADDI, Imm: MinImm13 - 1},
+		{Op: OpANDI, Imm: -1}, // zero-extended: negatives don't fit
+		{Op: OpANDI, Imm: 0x1fff + 1},
+		{Op: OpBEQ, Imm: MaxImm13 + 1},
+		{Op: OpJAL, Imm: MaxImm19 + 1},
+		{Op: OpJAL, Imm: MinImm19 - 1},
+		{Op: OpLUI, Imm: -1},
+		{Op: OpLUI, Imm: MaxUImm19 + 1},
+	}
+	for _, in := range cases {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("%s with imm %d encoded, want error", in.Op, in.Imm)
+		}
+	}
+}

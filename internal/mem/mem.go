@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"cyclops/internal/arch"
+	"cyclops/internal/obs"
 )
 
 // Memory is the embedded DRAM: functional storage plus per-bank timing.
@@ -49,6 +50,10 @@ type bank struct {
 	wcbBytes int
 	// busy accumulates occupied cycles for utilization stats.
 	busy uint64
+	// grants/conflicts/waitCycles are the per-bank telemetry the
+	// observability layer exports: bursts served, bursts that found the
+	// bank busy, and the total queueing delay they saw.
+	grants, conflicts, waitCycles uint64
 }
 
 // New builds the embedded memory for a configuration.
@@ -214,6 +219,13 @@ func (m *Memory) FillLine(now uint64, addr uint32) uint64 {
 	start := now
 	if b.freeAt > start {
 		start = b.freeAt
+		if obs.Enabled {
+			b.conflicts++
+			b.waitCycles += start - now
+		}
+	}
+	if obs.Enabled {
+		b.grants++
 	}
 	b.freeAt = start + uint64(m.cfg.MemBurstCycles)
 	b.busy += uint64(m.cfg.MemBurstCycles)
@@ -242,6 +254,13 @@ func (m *Memory) WriteThrough(now uint64, addr uint32, size int) (admit uint64) 
 		start := now
 		if b.freeAt > start {
 			start = b.freeAt
+			if obs.Enabled {
+				b.conflicts++
+				b.waitCycles += start - now
+			}
+		}
+		if obs.Enabled {
+			b.grants++
 		}
 		cost := uint64(m.cfg.MemBurstCycles / 2)
 		b.freeAt = start + cost
@@ -253,6 +272,23 @@ func (m *Memory) WriteThrough(now uint64, addr uint32, size int) (admit uint64) 
 		admit = b.freeAt - lag
 	}
 	return admit
+}
+
+// Banks returns the number of physical banks (including failed ones, so
+// BankStats IDs are stable across fault experiments).
+func (m *Memory) Banks() int { return len(m.banks) }
+
+// BankStats returns bank i's telemetry for the observability layer.
+func (m *Memory) BankStats(i int) obs.ResourceStats {
+	b := &m.banks[i]
+	return obs.ResourceStats{
+		Kind:       "drambank",
+		ID:         i,
+		Busy:       b.busy,
+		Grants:     b.grants,
+		Conflicts:  b.conflicts,
+		WaitCycles: b.waitCycles,
+	}
 }
 
 // BusyCycles returns the total occupied cycles summed over all banks.

@@ -1,0 +1,7 @@
+//go:build cyclops_noobs
+
+package obs
+
+// Enabled is false under the cyclops_noobs build tag: per-reason and
+// per-resource accounting compiles out of the hot paths entirely.
+const Enabled = false

@@ -1,0 +1,10 @@
+//go:build !cyclops_noobs
+
+package obs
+
+// Enabled reports whether per-reason and per-resource accounting is
+// compiled in. It is a constant: when false (build tag cyclops_noobs)
+// every `if obs.Enabled` increment is eliminated at compile time, making
+// the observability layer literally free. Legacy run/stall totals are
+// charged unconditionally either way.
+const Enabled = true

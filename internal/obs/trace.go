@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// TraceSlice is one complete ("ph":"X") event on a thread timeline:
+// Start and Dur are in simulated cycles, reported to Chrome as
+// microseconds so one trace-viewer tick equals one cycle.
+type TraceSlice struct {
+	Name string
+	// PID groups timelines (we use the quad); TID is the thread unit.
+	PID, TID int
+	Start    uint64
+	Dur      uint64
+	// Args are extra key/value annotations, emitted in slice order.
+	Args [][2]string
+}
+
+// TraceThread names one timeline via a thread_name metadata event.
+type TraceThread struct {
+	PID, TID int
+	Name     string
+}
+
+// WriteChromeTrace writes a Chrome trace-event JSON document (the
+// "JSON Object Format": {"traceEvents": [...]}) loadable in
+// chrome://tracing and Perfetto. Events are written in the order given,
+// metadata first, so output is deterministic.
+func WriteChromeTrace(w io.Writer, threads []TraceThread, slices []TraceSlice) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	for _, t := range threads {
+		comma()
+		bw.WriteString(`{"name":"thread_name","ph":"M","pid":`)
+		bw.WriteString(strconv.Itoa(t.PID))
+		bw.WriteString(`,"tid":`)
+		bw.WriteString(strconv.Itoa(t.TID))
+		bw.WriteString(`,"args":{"name":`)
+		bw.WriteString(strconv.Quote(t.Name))
+		bw.WriteString("}}")
+	}
+	for _, s := range slices {
+		comma()
+		bw.WriteString(`{"name":`)
+		bw.WriteString(strconv.Quote(s.Name))
+		bw.WriteString(`,"ph":"X","ts":`)
+		bw.WriteString(strconv.FormatUint(s.Start, 10))
+		bw.WriteString(`,"dur":`)
+		bw.WriteString(strconv.FormatUint(s.Dur, 10))
+		bw.WriteString(`,"pid":`)
+		bw.WriteString(strconv.Itoa(s.PID))
+		bw.WriteString(`,"tid":`)
+		bw.WriteString(strconv.Itoa(s.TID))
+		if len(s.Args) > 0 {
+			bw.WriteString(`,"args":{`)
+			for i, kv := range s.Args {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(strconv.Quote(kv[0]))
+				bw.WriteByte(':')
+				bw.WriteString(strconv.Quote(kv[1]))
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}

@@ -1,6 +1,9 @@
 package perf
 
-import "cyclops/internal/arch"
+import (
+	"cyclops/internal/arch"
+	"cyclops/internal/obs"
+)
 
 // HWBarrier is the fast wired-OR hardware barrier of Section 2.3 as seen
 // by the timing runtime: entry is a single SPR write, waiting threads
@@ -124,9 +127,11 @@ func (t *T) spinFlag(ea uint32, flag *flagStamp, want uint32) {
 		t.run++
 		t.now++
 		seen := flag.phase >= want && flag.at <= issue
-		// The conditional branch consumes the loaded value.
+		// The conditional branch consumes the loaded value. The wait is
+		// time spent inside the software barrier, so it is charged as
+		// barrier stall rather than a generic load-use dependence.
 		if a.Done > t.now {
-			t.stall += a.Done - t.now
+			t.stallFor(obs.BarrierStall, a.Done-t.now)
 			t.now = a.Done
 		}
 		t.Work(2)

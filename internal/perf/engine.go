@@ -33,6 +33,7 @@ import (
 
 	"cyclops/internal/arch"
 	"cyclops/internal/core"
+	"cyclops/internal/obs"
 )
 
 // Machine owns the engine and the chip being timed.
@@ -291,4 +292,31 @@ func (m *Machine) TotalRunStall() (run, stall uint64) {
 		stall += t.stall
 	}
 	return run, stall
+}
+
+// TotalBreakdown sums the per-reason stall buckets over all threads.
+func (m *Machine) TotalBreakdown() obs.Breakdown {
+	var b obs.Breakdown
+	for _, t := range m.threads {
+		b.AddAll(t.stalls)
+	}
+	return b
+}
+
+// Snapshot captures the run's cycle accounting and resource telemetry in
+// the deterministic export form. The direct-execution engine abstracts
+// the instruction stream, so per-thread Insts stays zero.
+func (m *Machine) Snapshot() *obs.Snapshot {
+	s := &obs.Snapshot{Cycles: m.Elapsed(), Resources: m.Chip.ResourceStats()}
+	for _, t := range m.threads {
+		s.Threads = append(s.Threads, obs.ThreadStat{
+			ID:     t.ID,
+			Quad:   t.Quad,
+			Run:    t.run,
+			Stall:  t.stall,
+			Stalls: t.stalls,
+		})
+	}
+	s.Finish()
+	return s
 }

@@ -1,6 +1,10 @@
 package perf
 
-import "cyclops/internal/isa"
+import (
+	"cyclops/internal/cache"
+	"cyclops/internal/isa"
+	"cyclops/internal/obs"
+)
 
 // T is one simulated Cyclops thread: a virtual clock plus the in-order
 // single-issue semantics of a thread unit. All methods must be called
@@ -16,6 +20,9 @@ type T struct {
 
 	now        uint64
 	run, stall uint64
+	// stalls splits stall by reason; every charge goes through stallFor
+	// so the buckets sum to stall exactly.
+	stalls obs.Breakdown
 }
 
 // Val is a dataflow token: the virtual cycle at which a produced value
@@ -38,6 +45,35 @@ func (t *T) RunCycles() uint64 { return t.run }
 // contention, memory latency and barrier waits through memory.
 func (t *T) StallCycles() uint64 { return t.stall }
 
+// Stalls returns the per-reason split of StallCycles.
+func (t *T) Stalls() obs.Breakdown { return t.stalls }
+
+// stallFor charges n stall cycles to the legacy total and, when the
+// observability layer is compiled in, to the per-reason bucket.
+func (t *T) stallFor(r obs.StallReason, n uint64) {
+	t.stall += n
+	if obs.Enabled {
+		t.stalls[r] += n
+	}
+}
+
+// chargeStoreWait advances past write backpressure, splitting the wait
+// between the cache port and the DRAM bank using the access's wait
+// attribution (port share first, remainder to the bank).
+func (t *T) chargeStoreWait(a cache.Access) {
+	if a.Done <= t.now {
+		return
+	}
+	over := a.Done - t.now
+	port := a.PortWait
+	if port > over {
+		port = over
+	}
+	t.stallFor(obs.CachePortStall, port)
+	t.stallFor(obs.BankConflictStall, over-port)
+	t.now = a.Done
+}
+
 // acquire yields to the engine; on return this thread holds the globally
 // minimal virtual time and may touch shared resources at t.now.
 func (t *T) acquire() {
@@ -56,7 +92,7 @@ func (t *T) block() {
 func (t *T) waitVals(vals ...Val) {
 	for _, v := range vals {
 		if v.ready > t.now {
-			t.stall += v.ready - t.now
+			t.stallFor(obs.DepStall, v.ready-t.now)
 			t.now = v.ready
 		}
 	}
@@ -72,9 +108,11 @@ func (t *T) Work(n int) {
 
 // Stall advances the clock by n cycles counted as stall (used by
 // synthetic workloads; real stalls come from the operations themselves).
+// Synthetic stalls are booked as sleep/idle: they model time the thread
+// is parked, not contention for a hardware resource.
 func (t *T) Stall(n int) {
 	t.now += uint64(n)
-	t.stall += uint64(n)
+	t.stallFor(obs.SleepIdle, uint64(n))
 }
 
 // --- Memory ----------------------------------------------------------------
@@ -101,11 +139,8 @@ func (t *T) store(ea uint32, size int, deps ...Val) {
 	a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
 	t.run++
 	t.now++
-	if a.Done > t.now {
-		// Write-buffer backpressure.
-		t.stall += a.Done - t.now
-		t.now = a.Done
-	}
+	// Write-buffer backpressure.
+	t.chargeStoreWait(a)
 }
 
 // StoreF64 times a double-precision store of a value produced by deps.
@@ -167,10 +202,7 @@ func (t *T) StoreBlock(ea uint32, n, size, stride int, deps ...Val) {
 			a := t.m.Chip.Data.Store(t.now, ea+uint32((i+k)*stride), size, t.Quad)
 			t.run++
 			t.now++
-			if a.Done > t.now {
-				t.stall += a.Done - t.now
-				t.now = a.Done
-			}
+			t.chargeStoreWait(a)
 		}
 	}
 }
@@ -211,10 +243,7 @@ func (t *T) StoreScatter(eas []uint32, size int, deps ...Val) {
 			a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
 			t.run++
 			t.now++
-			if a.Done > t.now {
-				t.stall += a.Done - t.now
-				t.now = a.Done
-			}
+			t.chargeStoreWait(a)
 		}
 	}
 }
@@ -228,7 +257,7 @@ func (t *T) fp(pipe isa.FPUPipe, exec, extra int, ops ...Val) Val {
 	fpu := t.m.Chip.FPUs[t.Quad]
 	start := fpu.Dispatch(t.now, pipe, exec)
 	if start > t.now {
-		t.stall += start - t.now
+		t.stallFor(obs.FPUStall, start-t.now)
 		t.now = start
 	}
 	t.run++
@@ -291,7 +320,7 @@ func (t *T) FPBlock(pipe isa.FPUPipe, n int, ops ...Val) Val {
 		for k := 0; k < c; k++ {
 			start := fpu.Dispatch(t.now, pipe, exec)
 			if start > t.now {
-				t.stall += start - t.now
+				t.stallFor(obs.FPUStall, start-t.now)
 				t.now = start
 			}
 			t.run++

@@ -1,0 +1,107 @@
+package refdata_test
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/internal/harness"
+	"cyclops/internal/refdata"
+)
+
+// TestOrigin3800Series pins the shape of the digitized Figure 6(b)
+// reference: the paper's published SGI Origin numbers, which must stay
+// internally consistent — monotone in processors and bandwidth, with
+// Add/Triad leading and Scale trailing as in the figure.
+func TestOrigin3800Series(t *testing.T) {
+	pts := refdata.Origin3800
+	if len(pts) != 8 {
+		t.Fatalf("%d points, want 8 (2..128 processors)", len(pts))
+	}
+	if pts[0].Processors != 2 || pts[len(pts)-1].Processors != 128 {
+		t.Errorf("series spans %d..%d processors, want 2..128", pts[0].Processors, pts[len(pts)-1].Processors)
+	}
+	for i, p := range pts {
+		for _, v := range []float64{p.Copy, p.Scale, p.Add, p.Triad} {
+			if v <= 0 {
+				t.Errorf("point %d (%d cpus) has non-positive bandwidth", i, p.Processors)
+			}
+		}
+		if !(p.Triad >= p.Copy && p.Add >= p.Copy && p.Copy >= p.Scale) {
+			t.Errorf("point %d (%d cpus): kernel ordering broken (want add/triad >= copy >= scale): %+v", i, p.Processors, p)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := pts[i-1]
+		if p.Processors <= prev.Processors {
+			t.Errorf("point %d: processors not increasing (%d after %d)", i, p.Processors, prev.Processors)
+		}
+		for _, pair := range [][2]float64{{p.Copy, prev.Copy}, {p.Scale, prev.Scale}, {p.Add, prev.Add}, {p.Triad, prev.Triad}} {
+			if pair[0] <= pair[1] {
+				t.Errorf("point %d (%d cpus): bandwidth not increasing (%.1f after %.1f)", i, p.Processors, pair[0], pair[1])
+			}
+		}
+	}
+	// The 128-cpu plateau the paper plots against: mid-40s GB/s on Triad.
+	if top := pts[len(pts)-1].Triad; top < 40 || top > 55 {
+		t.Errorf("128-cpu triad = %.1f GB/s, want the figure's ~49", top)
+	}
+}
+
+// TestPaperTargets pins the headline numbers quoted from the paper text;
+// these are transcriptions, so any change is a transcription error.
+func TestPaperTargets(t *testing.T) {
+	pt := refdata.PaperTargets
+	golden := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"SustainedMemGBps", pt.SustainedMemGBps, 40},
+		{"InCacheGBps", pt.InCacheGBps, 80},
+		{"FFT256BarrierGainPct", pt.FFT256BarrierGainPct, 10},
+		{"FFT64KBarrierGainPct", pt.FFT64KBarrierGainPct, 5},
+		{"AggregateRatioLow", pt.AggregateRatioLow, 112},
+		{"AggregateRatioHigh", pt.AggregateRatioHigh, 120},
+		{"LocalCacheSmallGainPct", pt.LocalCacheSmallGainPct, 60},
+		{"LocalCacheScaleGainPct", pt.LocalCacheScaleGainPct, 30},
+	}
+	for _, g := range golden {
+		if g.got != g.want {
+			t.Errorf("PaperTargets.%s = %v, want %v (paper text)", g.name, g.got, g.want)
+		}
+	}
+	if pt.AggregateRatioLow >= pt.AggregateRatioHigh {
+		t.Error("aggregate ratio bounds inverted")
+	}
+}
+
+// TestSeriesMatchesHarnessSchema checks the reference data against its
+// consumer: the fig6b table must carry one row per Origin3800 point and a
+// column per STREAM kernel, so the series and the rendered table cannot
+// drift apart.
+func TestSeriesMatchesHarnessSchema(t *testing.T) {
+	tab, err := harness.Fig6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(refdata.Origin3800) {
+		t.Errorf("fig6b renders %d rows for %d reference points", len(tab.Rows), len(refdata.Origin3800))
+	}
+	// First column names the processor count; the four kernels follow.
+	if len(tab.Columns) != 5 {
+		t.Fatalf("fig6b has %d columns, want processors + 4 kernels", len(tab.Columns))
+	}
+	for _, kernel := range []string{"copy", "scale", "add", "triad"} {
+		found := false
+		for _, c := range tab.Columns {
+			if strings.Contains(strings.ToLower(c), kernel) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fig6b columns %v missing kernel %q", tab.Columns, kernel)
+		}
+	}
+}

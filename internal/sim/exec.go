@@ -4,8 +4,33 @@ import (
 	"math"
 
 	"cyclops/internal/arch"
+	"cyclops/internal/cache"
 	"cyclops/internal/isa"
+	"cyclops/internal/obs"
 )
+
+// stallFor charges n stall cycles to the legacy total and, when the
+// observability layer is compiled in, to the per-reason bucket. Routing
+// every charge through here is what guarantees the buckets sum to
+// StallCycles exactly.
+func (tu *TU) stallFor(r obs.StallReason, n uint64) {
+	tu.StallCycles += n
+	if obs.Enabled {
+		tu.Stalls[r] += n
+	}
+}
+
+// stallMem splits a memory backpressure stall of n cycles between the
+// cache port and the DRAM bank using the access's wait attribution: the
+// port share is charged first, the remainder to the bank.
+func (tu *TU) stallMem(a cache.Access, n uint64) {
+	port := a.PortWait
+	if port > n {
+		port = n
+	}
+	tu.stallFor(obs.CachePortStall, port)
+	tu.stallFor(obs.BankConflictStall, n-port)
+}
 
 // reg reads a register; r0 is hardwired to zero.
 func (tu *TU) reg(r uint8) uint32 {
@@ -130,7 +155,7 @@ func (m *Machine) step(tu *TU) {
 			done := m.Chip.Mem.FillLine(cycle, tu.PC&arch.PhysAddrMask)
 			stall += done - cycle
 		}
-		tu.StallCycles += stall
+		tu.stallFor(obs.ICacheStall, stall)
 		tu.nextAt = cycle + stall
 		return
 	}
@@ -160,7 +185,7 @@ func (m *Machine) step(tu *TU) {
 
 	// Scoreboard: in-order issue waits for source operands.
 	if ready := tu.sources(in, info); ready > cycle {
-		tu.StallCycles += ready - cycle
+		tu.stallFor(obs.DepStall, ready-cycle)
 		tu.nextAt = ready
 		return
 	}
@@ -197,7 +222,7 @@ func (m *Machine) step(tu *TU) {
 				m.halt(tu)
 				return
 			case res.Retry:
-				tu.StallCycles += cost
+				tu.stallFor(obs.SleepIdle, cost)
 				tu.RunCycles-- // the retried issue is a stall, not work
 				tu.Insts--
 				tu.nextAt = cycle + cost
@@ -244,7 +269,7 @@ func (m *Machine) step(tu *TU) {
 		m.execFP(tu, in, info, cycle)
 
 	case isa.ClassMem:
-		freeAt, ok := m.execMem(tu, in, info, cycle)
+		freeAt, acc, ok := m.execMem(tu, in, info, cycle)
 		if !ok {
 			return
 		}
@@ -252,8 +277,9 @@ func (m *Machine) step(tu *TU) {
 		tu.nextAt = cycle + uint64(lat.MemExec)
 		if freeAt > tu.nextAt {
 			// Store backpressure: the write buffer is full, the
-			// thread holds until the bank drains.
-			tu.StallCycles += freeAt - tu.nextAt
+			// thread holds until the bank drains (the port share of
+			// the wait is charged to the port).
+			tu.stallMem(acc, freeAt-tu.nextAt)
 			tu.nextAt = freeAt
 		}
 	}
@@ -413,7 +439,7 @@ func (m *Machine) execFP(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) {
 	fpu := m.Chip.FPUs[tu.Quad]
 	start := fpu.Dispatch(cycle, info.Pipe, exec)
 	if start > cycle {
-		tu.StallCycles += start - cycle
+		tu.stallFor(obs.FPUStall, start-cycle)
 	}
 	done := start + uint64(exec+extra)
 	// The thread issues in one cycle; the pipe carries the rest.
@@ -465,8 +491,8 @@ func (m *Machine) execFP(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) {
 // the embedded memory, timing through the cache system. It returns the
 // cycle the thread is free to continue (stores block on write-buffer
 // backpressure; loads free the thread immediately and deliver through the
-// scoreboard), and ok=false on trap.
-func (m *Machine) execMem(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) (freeAt uint64, ok bool) {
+// scoreboard), the access (for stall attribution), and ok=false on trap.
+func (m *Machine) execMem(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) (freeAt uint64, acc cache.Access, ok bool) {
 	size := memSize(in.Op)
 	var ea uint32
 	if info.Format == isa.FmtR { // atomics: address in B, no offset
@@ -477,19 +503,19 @@ func (m *Machine) execMem(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) (fr
 	phys := arch.Phys(ea)
 	if phys%size != 0 {
 		m.Trap("sim: thread %d: unaligned %d-byte access to %#x at pc %#x", tu.ID, size, ea, tu.PC)
-		return 0, false
+		return 0, cache.Access{}, false
 	}
 	memory := m.Chip.Mem
-	fail := func(err error) (uint64, bool) {
+	fail := func(err error) (uint64, cache.Access, bool) {
 		m.Trap("sim: thread %d: %v at pc %#x", tu.ID, err, tu.PC)
-		return 0, false
+		return 0, cache.Access{}, false
 	}
 
 	switch in.Op {
 	case isa.OpLD:
 		if !FRegOK(in.A) {
 			m.Trap("sim: thread %d: ld destination r%d not a pair at %#x", tu.ID, in.A, tu.PC)
-			return 0, false
+			return 0, cache.Access{}, false
 		}
 		v, err := memory.Read64(phys)
 		if err != nil {
@@ -498,7 +524,7 @@ func (m *Machine) execMem(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) (fr
 		a := m.Chip.Data.Load(cycle, ea, int(size), tu.Quad)
 		tu.setReg(in.A, uint32(v), a.Done)
 		tu.setReg(in.A+1, uint32(v>>32), a.Done)
-		return cycle + 1, true
+		return cycle + 1, a, true
 
 	case isa.OpLW, isa.OpLH, isa.OpLHU, isa.OpLB, isa.OpLBU:
 		v, err := memory.Read32(phys &^ 3)
@@ -518,33 +544,37 @@ func (m *Machine) execMem(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) (fr
 		}
 		a := m.Chip.Data.Load(cycle, ea, int(size), tu.Quad)
 		tu.setReg(in.A, v, a.Done)
-		return cycle + 1, true
+		return cycle + 1, a, true
 
 	case isa.OpSD:
 		v := uint64(tu.reg(in.A)) | uint64(tu.reg(in.A+1))<<32
 		if err := memory.Write64(phys, v); err != nil {
 			return fail(err)
 		}
-		return m.Chip.Data.Store(cycle, ea, int(size), tu.Quad).Done, true
+		a := m.Chip.Data.Store(cycle, ea, int(size), tu.Quad)
+		return a.Done, a, true
 
 	case isa.OpSW:
 		if err := memory.Write32(phys, tu.reg(in.A)); err != nil {
 			return fail(err)
 		}
-		return m.Chip.Data.Store(cycle, ea, int(size), tu.Quad).Done, true
+		a := m.Chip.Data.Store(cycle, ea, int(size), tu.Quad)
+		return a.Done, a, true
 
 	case isa.OpSH:
 		b := [2]byte{byte(tu.reg(in.A)), byte(tu.reg(in.A) >> 8)}
 		if err := memory.Write(phys, b[:]); err != nil {
 			return fail(err)
 		}
-		return m.Chip.Data.Store(cycle, ea, int(size), tu.Quad).Done, true
+		a := m.Chip.Data.Store(cycle, ea, int(size), tu.Quad)
+		return a.Done, a, true
 
 	case isa.OpSB:
 		if err := memory.Write(phys, []byte{byte(tu.reg(in.A))}); err != nil {
 			return fail(err)
 		}
-		return m.Chip.Data.Store(cycle, ea, int(size), tu.Quad).Done, true
+		a := m.Chip.Data.Store(cycle, ea, int(size), tu.Quad)
+		return a.Done, a, true
 
 	case isa.OpAMOADD, isa.OpAMOSWAP, isa.OpAMOCAS:
 		old, err := memory.Read32(phys)
@@ -569,7 +599,7 @@ func (m *Machine) execMem(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) (fr
 		}
 		a := m.Chip.Data.Atomic(cycle, ea, int(size), tu.Quad)
 		tu.setReg(in.A, old, a.Done)
-		return a.Done, true
+		return a.Done, a, true
 	}
-	return cycle + 1, true
+	return cycle + 1, cache.Access{}, true
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"cyclops/internal/core"
+	"cyclops/internal/obs"
 )
 
 // State is a thread unit's scheduling state.
@@ -58,6 +59,9 @@ type TU struct {
 	// cycles stalled on dependences, shared resources or fetch — the
 	// quantities Figure 7 reports.
 	RunCycles, StallCycles uint64
+	// Stalls splits StallCycles by reason; the buckets always sum to
+	// StallCycles exactly (every charge goes through stallFor).
+	Stalls obs.Breakdown
 	// StartCycle and EndCycle bound the unit's active lifetime.
 	StartCycle, EndCycle uint64
 	// Insts counts issued instructions.
@@ -349,4 +353,34 @@ func (m *Machine) TotalInsts() uint64 {
 		n += tu.Insts
 	}
 	return n
+}
+
+// TotalBreakdown sums the per-reason stall buckets over all units.
+func (m *Machine) TotalBreakdown() obs.Breakdown {
+	var b obs.Breakdown
+	for _, tu := range m.TUs {
+		b.AddAll(tu.Stalls)
+	}
+	return b
+}
+
+// Snapshot captures the run's cycle accounting and resource telemetry in
+// the deterministic export form. Units that never issued are omitted.
+func (m *Machine) Snapshot() *obs.Snapshot {
+	s := &obs.Snapshot{Cycles: m.cycle, Resources: m.Chip.ResourceStats()}
+	for _, tu := range m.TUs {
+		if tu.Insts == 0 && tu.RunCycles == 0 && tu.StallCycles == 0 {
+			continue
+		}
+		s.Threads = append(s.Threads, obs.ThreadStat{
+			ID:     tu.ID,
+			Quad:   tu.Quad,
+			Insts:  tu.Insts,
+			Run:    tu.RunCycles,
+			Stall:  tu.StallCycles,
+			Stalls: tu.Stalls,
+		})
+	}
+	s.Finish()
+	return s
 }

@@ -2,9 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"io"
+	"sort"
 	"strings"
 
 	"cyclops/internal/isa"
+	"cyclops/internal/obs"
 )
 
 // TraceEntry records one issued instruction.
@@ -68,6 +71,63 @@ func (tb *TraceBuffer) Len() int {
 		return len(tb.entries)
 	}
 	return tb.next
+}
+
+// ChromeTrace renders the machine's trace buffer as Chrome trace-event
+// JSON: one timeline per thread unit (grouped by quad as the process),
+// one slice per issued instruction. A slice spans from the instruction's
+// issue to the unit's next issue, so stalls show up as long slices on the
+// instruction that preceded them; chrome://tracing and Perfetto both load
+// the output directly.
+func (m *Machine) ChromeTrace(w io.Writer) error {
+	if m.Trace == nil {
+		return fmt.Errorf("sim: no trace buffer attached (set Machine.Trace)")
+	}
+	entries := m.Trace.Entries()
+
+	// A slice lasts until its unit issues again; the final issue of each
+	// unit gets one cycle.
+	durs := make([]uint64, len(entries))
+	nextIssue := make(map[int]uint64)
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if nxt, ok := nextIssue[e.TID]; ok && nxt > e.Cycle {
+			durs[i] = nxt - e.Cycle
+		} else {
+			durs[i] = 1
+		}
+		nextIssue[e.TID] = e.Cycle
+	}
+
+	tids := make([]int, 0, len(nextIssue))
+	for tid := range nextIssue {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	threads := make([]obs.TraceThread, 0, len(tids))
+	for _, tid := range tids {
+		threads = append(threads, obs.TraceThread{
+			PID:  m.Chip.Cfg.QuadOf(tid),
+			TID:  tid,
+			Name: fmt.Sprintf("TU %d", tid),
+		})
+	}
+
+	slices := make([]obs.TraceSlice, 0, len(entries))
+	for i, e := range entries {
+		slices = append(slices, obs.TraceSlice{
+			Name:  isa.Decode(e.Word).String(),
+			PID:   m.Chip.Cfg.QuadOf(e.TID),
+			TID:   e.TID,
+			Start: e.Cycle,
+			Dur:   durs[i],
+			Args: [][2]string{
+				{"pc", fmt.Sprintf("%#x", e.PC)},
+				{"word", fmt.Sprintf("%#08x", e.Word)},
+			},
+		})
+	}
+	return obs.WriteChromeTrace(w, threads, slices)
 }
 
 // Dump renders the buffer, oldest first.

@@ -15,6 +15,7 @@ import (
 
 	"cyclops/internal/arch"
 	"cyclops/internal/core"
+	"cyclops/internal/obs"
 	"cyclops/internal/perf"
 )
 
@@ -44,6 +45,8 @@ type Result struct {
 	Cycles uint64
 	// Run and Stall are summed over threads (Figure 7's bars).
 	Run, Stall uint64
+	// Stalls splits Stall by reason; it sums to Stall exactly.
+	Stalls obs.Breakdown
 }
 
 // Speedup returns base.Cycles / r.Cycles.
@@ -114,6 +117,7 @@ func result(name, problem string, threads int, m *perf.Machine) *Result {
 		Cycles:  m.Elapsed(),
 		Run:     run,
 		Stall:   stall,
+		Stalls:  m.TotalBreakdown(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"cyclops/internal/asm"
 	"cyclops/internal/core"
 	"cyclops/internal/kernel"
+	"cyclops/internal/obs"
 )
 
 // Result reports one STREAM measurement.
@@ -20,6 +21,11 @@ type Result struct {
 	TotalBytes int
 	// Insts is the total instructions the run issued (all reps).
 	Insts uint64
+	// Run and Stall are the Figure 7 cycle totals summed over every
+	// thread unit (workers plus the spawning main thread); Stalls splits
+	// Stall by reason and sums to it exactly.
+	Run, Stall uint64
+	Stalls     obs.Breakdown
 }
 
 // Bandwidth returns the aggregate best-rep bandwidth in bytes/second at
@@ -89,6 +95,11 @@ func RunOn(chip *core.Chip, p Params, policy Policy) (*Result, error) {
 		stamps[i] = uint64(v)
 	}
 	res := &Result{Params: p, Insts: k.Machine().TotalInsts()}
+	for _, tu := range k.Machine().TUs {
+		res.Run += tu.RunCycles
+		res.Stall += tu.StallCycles
+		res.Stalls.AddAll(tu.Stalls)
+	}
 	total := p.N
 	if p.Independent {
 		total = p.N * p.Threads
