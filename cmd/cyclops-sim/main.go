@@ -127,9 +127,10 @@ func printStats(m *sim.Machine, chip *core.Chip) {
 		if tu.Insts == 0 {
 			continue
 		}
-		fmt.Printf("%6d  %4d  %8d  %8d  %8d\n", tu.ID, tu.Quad, tu.Insts, tu.RunCycles, tu.StallCycles)
+		fmt.Printf("%6d  %4d  %8d  %8d  %8d\n", tu.ID, tu.Quad, tu.Insts, tu.Run, tu.Stall)
 	}
 	printBreakdown(m.TotalBreakdown())
+	printMemWaits(m.TotalMemWaits())
 	printResources(chip.ResourceStats())
 	fmt.Print(chip.Utilization(m.Cycle()))
 }
@@ -147,6 +148,23 @@ func printBreakdown(b obs.Breakdown) {
 			continue
 		}
 		fmt.Printf("  %-12s  %10d  %5.1f%%\n", obs.StallReason(r), v, 100*float64(v)/float64(total))
+	}
+}
+
+// printMemWaits lists the per-access memory-wait attribution by location.
+// Unlike the stall breakdown it counts queueing per access, so load waits
+// show up here even when the scoreboard reports them as dep stalls.
+func printMemWaits(w obs.MemWaits) {
+	total := w.Total()
+	if total == 0 {
+		return
+	}
+	fmt.Println("memory-wait attribution (per access):")
+	for k, v := range w {
+		if v == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s  %10d  %5.1f%%\n", obs.MemWaitKind(k), v, 100*float64(v)/float64(total))
 	}
 }
 

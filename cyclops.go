@@ -130,7 +130,7 @@ type ThreadStats struct {
 func (s *System) Stats() []ThreadStats {
 	out := make([]ThreadStats, len(s.k.Machine().TUs))
 	for i, tu := range s.k.Machine().TUs {
-		out[i] = ThreadStats{Run: tu.RunCycles, Stall: tu.StallCycles, Insts: tu.Insts}
+		out[i] = ThreadStats{Run: tu.Run, Stall: tu.Stall, Insts: tu.Insts}
 	}
 	return out
 }

@@ -14,7 +14,7 @@ import (
 // direct-execution engine: per element a load, a dependent store, and
 // Work(4) for the loop overhead (two address/count updates plus the
 // two-cycle branch).
-func perfCopy(t *testing.T, threads int) (run, stall uint64, b obs.Breakdown) {
+func perfCopy(t *testing.T, threads int) (run, stall uint64, b obs.Breakdown, w obs.MemWaits) {
 	t.Helper()
 	m := perf.NewDefault()
 	n := threads * 1000
@@ -38,10 +38,10 @@ func perfCopy(t *testing.T, threads int) (run, stall uint64, b obs.Breakdown) {
 		t.Fatal(err)
 	}
 	run, stall = m.TotalRunStall()
-	return run, stall, m.TotalBreakdown()
+	return run, stall, m.TotalBreakdown(), m.TotalMemWaits()
 }
 
-func simCopy(t *testing.T, threads int) (run, stall uint64, b obs.Breakdown) {
+func simCopy(t *testing.T, threads int) (run, stall uint64, b obs.Breakdown, w obs.MemWaits) {
 	t.Helper()
 	r, err := stream.Run(stream.Params{
 		Kernel: stream.Copy, Threads: threads, N: threads * 1000, Local: true, Reps: 1,
@@ -49,7 +49,7 @@ func simCopy(t *testing.T, threads int) (run, stall uint64, b obs.Breakdown) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return r.Run, r.Stall, r.Stalls
+	return r.Run, r.Stall, r.Stalls, r.MemWaits
 }
 
 // TestCrossEngineStreamCounters runs STREAM Copy through both engines at
@@ -68,8 +68,8 @@ func TestCrossEngineStreamCounters(t *testing.T) {
 		t.Skip("counters compiled out")
 	}
 	for _, threads := range []int{1, 4, 16} {
-		sRun, sStall, sB := simCopy(t, threads)
-		pRun, pStall, pB := perfCopy(t, threads)
+		sRun, sStall, sB, sW := simCopy(t, threads)
+		pRun, pStall, pB, pW := perfCopy(t, threads)
 
 		// Exactness: the tagged charges must sum to the legacy totals.
 		if got := sB.Total(); got != sStall {
@@ -128,6 +128,27 @@ func TestCrossEngineStreamCounters(t *testing.T) {
 		perfPer := float64(pRun+pStall) / float64(threads)
 		if ratio := simPer / perfPer; ratio < 0.8 || ratio > 1.6 {
 			t.Errorf("%d threads: accounted cycles per thread differ by %.2fx (sim %.0f, perf %.0f)", threads, ratio, simPer, perfPer)
+		}
+
+		// Memory-wait attribution tells the same story on both engines:
+		// local placement means no switch transit, a lone thread sees no
+		// queueing at all, and once threads share a quad the streaming
+		// loop queues at the cache ports (and, less often, the banks).
+		t.Logf("%2d threads: mem waits sim %v perf %v", threads, sW, pW)
+		if sW[obs.MemWaitHop] != 0 || pW[obs.MemWaitHop] != 0 {
+			t.Errorf("%d threads: hop waits on local placement (sim %d, perf %d)", threads, sW[obs.MemWaitHop], pW[obs.MemWaitHop])
+		}
+		if threads == 1 {
+			if sW.Total() != 0 || pW.Total() != 0 {
+				t.Errorf("uncontended thread recorded memory waits (sim %v, perf %v)", sW, pW)
+			}
+		} else {
+			if sW[obs.MemWaitPort] == 0 || pW[obs.MemWaitPort] == 0 {
+				t.Errorf("%d threads: contended loop saw no port waits (sim %d, perf %d)", threads, sW[obs.MemWaitPort], pW[obs.MemWaitPort])
+			}
+			if sW[obs.MemWaitBank] == 0 || pW[obs.MemWaitBank] == 0 {
+				t.Errorf("%d threads: contended loop saw no bank waits (sim %d, perf %d)", threads, sW[obs.MemWaitBank], pW[obs.MemWaitBank])
+			}
 		}
 	}
 }

@@ -39,6 +39,28 @@ func (w Where) String() string {
 	return "?"
 }
 
+// Wait attributes the delays one access experienced beyond the unloaded
+// Table 2 latency of its outcome class. The attribution is produced here,
+// once, and consumed only by the timing ledger (internal/timing), which
+// owns the rule splitting a blocking stall between the coarse cacheport
+// and bankconflict stall reasons and accumulates the finer per-kind
+// telemetry (obs.MemWaits).
+type Wait struct {
+	// Port is the cycles the access queued for the cache's single
+	// 8-byte port.
+	Port uint64
+	// Bank is the DRAM bank burst queueing delay: fill FIFO waits and
+	// write-combining backlog (write backpressure).
+	Bank uint64
+	// Fill is the wait on a line still in flight from a concurrent miss
+	// (the model's MSHR semantics).
+	Fill uint64
+	// Hop is the cache-switch transit of a remote access beyond the
+	// local latency of the same class (remote hit 17 vs local 6, remote
+	// miss 36 vs local 24).
+	Hop uint64
+}
+
 // Access describes the outcome of one timed data access.
 type Access struct {
 	// Done is the cycle at which the loaded value is available to
@@ -48,12 +70,8 @@ type Access struct {
 	Where Where
 	// Cache is the data cache that served the access.
 	Cache int
-	// PortWait is the cycles the access queued for the cache's single
-	// port; BankWait the extra delay from DRAM bank occupancy (fill
-	// queueing, write-buffer backpressure, in-flight line waits). The
-	// engines use them to split a stall between CachePortStall and
-	// BankConflictStall.
-	PortWait, BankWait uint64
+	// Wait attributes the access's queueing and transit delays.
+	Wait Wait
 }
 
 // System is the data side of the memory hierarchy: the 32 quad caches, the
@@ -165,19 +183,21 @@ func (s *System) Load(now uint64, ea uint32, size int, ownCache int) Access {
 	if hit, ready := s.Caches[c].Lookup(phys); hit {
 		w := RemoteHit
 		extra := uint64(lat.RemoteHitLatency)
+		hop := uint64(lat.RemoteHitLatency - lat.LocalHitLatency)
 		if local {
-			w, extra = LocalHit, uint64(lat.LocalHitLatency)
+			w, extra, hop = LocalHit, uint64(lat.LocalHitLatency), 0
 		}
 		s.Counts[w]++
 		done := start + extra
-		var bankWait uint64
+		var fillWait uint64
 		if ready > done {
 			// The line is still in flight from a concurrent miss;
 			// the access completes when the fill does.
-			bankWait = ready - done
+			fillWait = ready - done
 			done = ready
 		}
-		return Access{Done: done, Where: w, Cache: c, PortWait: start - now, BankWait: bankWait}
+		return Access{Done: done, Where: w, Cache: c,
+			Wait: Wait{Port: start - now, Fill: fillWait, Hop: hop}}
 	}
 
 	// Miss: fill the line from its bank and install it. The fill
@@ -189,14 +209,16 @@ func (s *System) Load(now uint64, ea uint32, size int, ownCache int) Access {
 	s.takePort(c, start+1, s.fillPortCycles)
 	w := RemoteMiss
 	extra := uint64(lat.RemoteMissLatency)
+	hop := uint64(lat.RemoteMissLatency - lat.LocalMissLatency)
 	if local {
-		w, extra = LocalMiss, uint64(lat.LocalMissLatency)
+		w, extra, hop = LocalMiss, uint64(lat.LocalMissLatency), 0
 	}
 	s.Counts[w]++
 	// The Table 2 miss latencies are unloaded; queueing at the bank adds
 	// on top. fillDone-start-burst is exactly the queueing delay.
 	queue := fillDone - start - uint64(s.Cfg.MemBurstCycles)
-	return Access{Done: start + extra + queue, Where: w, Cache: c, PortWait: start - now, BankWait: queue}
+	return Access{Done: start + extra + queue, Where: w, Cache: c,
+		Wait: Wait{Port: start - now, Bank: queue, Hop: hop}}
 }
 
 // Store times a write-through store. The thread normally proceeds after
@@ -218,7 +240,8 @@ func (s *System) Store(now uint64, ea uint32, size int, ownCache int) Access {
 		bankWait = admit - done
 		done = admit
 	}
-	return Access{Done: done, Where: StoreThrough, Cache: c, PortWait: start - now, BankWait: bankWait}
+	return Access{Done: done, Where: StoreThrough, Cache: c,
+		Wait: Wait{Port: start - now, Bank: bankWait}}
 }
 
 // Atomic times a read-modify-write (amoadd/amoswap/amocas). It behaves as

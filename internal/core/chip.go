@@ -176,9 +176,8 @@ func (c *Chip) ThreadUsable(tid int) bool {
 // UsableThreads counts schedulable thread units.
 func (c *Chip) UsableThreads() int {
 	n := 0
-	for q, d := range c.disabledQuad {
+	for _, d := range c.disabledQuad {
 		if !d {
-			_ = q
 			n += c.Cfg.ThreadsPerQuad
 		}
 	}

@@ -28,6 +28,9 @@ func Breakdown(s Scale) (*Table, error) {
 	for _, r := range obs.ReasonNames() {
 		cols = append(cols, r+" %")
 	}
+	for _, k := range obs.MemWaitNames() {
+		cols = append(cols, "w:"+k)
+	}
 	cols = append(cols, "cycles")
 	t := &Table{
 		ID:      "breakdown",
@@ -40,6 +43,7 @@ func Breakdown(s Scale) (*Table, error) {
 	type bd struct {
 		run, stall uint64
 		stalls     obs.Breakdown
+		memWaits   obs.MemWaits
 	}
 	type point struct {
 		workload, engine string
@@ -56,7 +60,7 @@ func Breakdown(s Scale) (*Table, error) {
 			if err != nil {
 				return bd{}, err
 			}
-			return bd{r.Run, r.Stall, r.Stalls}, nil
+			return bd{r.Run, r.Stall, r.Stalls, r.MemWaits}, nil
 		}})
 	}
 	for _, kind := range []splash.BarrierKind{splash.HW, splash.SW} {
@@ -68,7 +72,7 @@ func Breakdown(s Scale) (*Table, error) {
 			if err != nil {
 				return bd{}, err
 			}
-			return bd{r.Run, r.Stall, r.Stalls}, nil
+			return bd{r.Run, r.Stall, r.Stalls, r.MemWaits}, nil
 		}})
 	}
 
@@ -93,10 +97,14 @@ func Breakdown(s Scale) (*Table, error) {
 		for _, v := range r.stalls {
 			row = append(row, pct(v))
 		}
+		for _, v := range r.memWaits {
+			row = append(row, fmt.Sprintf("%d", v))
+		}
 		row = append(row, fmt.Sprintf("%d", total))
 		t.AddRow(row...)
 	}
 	t.Note("cycles = run+stall summed over all thread units; per-reason shares + run share = 100%%")
 	t.Note("counters: dep = scoreboard, cacheport/bankconflict = memory system, fpu = quad FPU, icache = fetch, barrier = sw-barrier spin, sleep = kernel waits")
+	t.Note("w:port/w:bank/w:fill/w:hop = per-access memory-wait cycles by location (timing ledger attribution; loads appear here even when the scoreboard books them as dep)")
 	return t, nil
 }

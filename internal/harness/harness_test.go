@@ -219,9 +219,13 @@ func TestBreakdownShares(t *testing.T) {
 	if len(tab.Rows) != 5 {
 		t.Fatalf("%d rows, want 3 STREAM + 2 FFT", len(tab.Rows))
 	}
-	// Columns: workload, engine, threads, run %, 7 reason %, cycles.
-	if len(tab.Columns) != 12 {
-		t.Fatalf("%d columns, want 12", len(tab.Columns))
+	// Columns: workload, engine, threads, run %, 7 reason %, 4 mem-wait
+	// attribution counts, cycles.
+	if len(tab.Columns) != 16 {
+		t.Fatalf("%d columns, want 16", len(tab.Columns))
+	}
+	if got := tab.Columns[11]; got != "w:port" {
+		t.Fatalf("column 11 = %q, want w:port", got)
 	}
 	for i := range tab.Rows {
 		sum := 0.0

@@ -159,6 +159,11 @@ type ThreadStat struct {
 	Run    uint64    `json:"run"`
 	Stall  uint64    `json:"stall"`
 	Stalls Breakdown `json:"stalls"`
+	// MemWaits sub-attributes the thread's memory-system waits by
+	// location (port/bank/fill/hop); unlike Stalls it counts per-access
+	// queueing, so load waits appear here even when the scoreboard later
+	// reports them as dep stalls.
+	MemWaits MemWaits `json:"mem_waits"`
 }
 
 // Snapshot is a complete, self-describing stats capture of one run. Its
@@ -171,18 +176,20 @@ type Snapshot struct {
 	Run       uint64          `json:"run"`
 	Stall     uint64          `json:"stall"`
 	Stalls    Breakdown       `json:"stalls"`
+	MemWaits  MemWaits        `json:"mem_waits"`
 	Threads   []ThreadStat    `json:"threads"`
 	Resources []ResourceStats `json:"resources"`
 }
 
 // Finish fills the aggregate fields from the per-thread entries.
 func (s *Snapshot) Finish() {
-	s.Insts, s.Run, s.Stall, s.Stalls = 0, 0, 0, Breakdown{}
+	s.Insts, s.Run, s.Stall, s.Stalls, s.MemWaits = 0, 0, 0, Breakdown{}, MemWaits{}
 	for _, t := range s.Threads {
 		s.Insts += t.Insts
 		s.Run += t.Run
 		s.Stall += t.Stall
 		s.Stalls.AddAll(t.Stalls)
+		s.MemWaits.AddAll(t.MemWaits)
 	}
 }
 

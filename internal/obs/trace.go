@@ -25,11 +25,24 @@ type TraceThread struct {
 	Name     string
 }
 
+// TraceCounter is one counter ("ph":"C") sample: named numeric series at
+// one instant on a thread timeline. Trace viewers render the series as a
+// stacked area track; we use it to publish each thread unit's memory-wait
+// sub-attribution (port/bank/fill/hop) at the end of its run.
+type TraceCounter struct {
+	Name     string
+	PID, TID int
+	At       uint64
+	// Series holds name/value pairs, emitted in order; values are raw
+	// decimal numbers.
+	Series [][2]string
+}
+
 // WriteChromeTrace writes a Chrome trace-event JSON document (the
 // "JSON Object Format": {"traceEvents": [...]}) loadable in
 // chrome://tracing and Perfetto. Events are written in the order given,
-// metadata first, so output is deterministic.
-func WriteChromeTrace(w io.Writer, threads []TraceThread, slices []TraceSlice) error {
+// metadata first, then slices, then counters, so output is deterministic.
+func WriteChromeTrace(w io.Writer, threads []TraceThread, slices []TraceSlice, counters []TraceCounter) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"traceEvents\":[")
 	first := true
@@ -74,6 +87,27 @@ func WriteChromeTrace(w io.Writer, threads []TraceThread, slices []TraceSlice) e
 			bw.WriteByte('}')
 		}
 		bw.WriteByte('}')
+	}
+	for _, c := range counters {
+		comma()
+		bw.WriteString(`{"name":`)
+		bw.WriteString(strconv.Quote(c.Name))
+		bw.WriteString(`,"ph":"C","ts":`)
+		bw.WriteString(strconv.FormatUint(c.At, 10))
+		bw.WriteString(`,"pid":`)
+		bw.WriteString(strconv.Itoa(c.PID))
+		bw.WriteString(`,"tid":`)
+		bw.WriteString(strconv.Itoa(c.TID))
+		bw.WriteString(`,"args":{`)
+		for i, kv := range c.Series {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.Quote(kv[0]))
+			bw.WriteByte(':')
+			bw.WriteString(kv[1])
+		}
+		bw.WriteString("}}")
 	}
 	bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
 	return bw.Flush()

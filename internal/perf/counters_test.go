@@ -23,7 +23,7 @@ func TestPerfStallReasonsSum(t *testing.T) {
 		q := th.FDiv(v)
 		r := th.FDiv(q) // divide unit still busy: structural wait
 		th.StoreF64(data+uint32(8*i), r)
-		th.Stall(5 + i) // explicit sleep
+		th.Idle(5 + i) // explicit sleep
 		th.SWBarrier(b, i)
 	})
 	if err := m.Run(); err != nil {
@@ -31,10 +31,10 @@ func TestPerfStallReasonsSum(t *testing.T) {
 	}
 	var want obs.Breakdown
 	for _, th := range m.Threads() {
-		if got := th.Stalls().Total(); got != th.StallCycles() {
-			t.Errorf("thread %d: reasons sum to %d, StallCycles = %d (%v)", th.ID, got, th.StallCycles(), th.Stalls())
+		if got := th.Stalls.Total(); got != th.Stall {
+			t.Errorf("thread %d: reasons sum to %d, Stall = %d (%v)", th.ID, got, th.Stall, th.Stalls)
 		}
-		want.AddAll(th.Stalls())
+		want.AddAll(th.Stalls)
 	}
 	if got := m.TotalBreakdown(); got != want {
 		t.Errorf("TotalBreakdown = %v, per-thread sum = %v", got, want)
@@ -94,8 +94,8 @@ func TestStoreBackpressureSplit(t *testing.T) {
 		t.Errorf("no memory-system stalls under store flood (breakdown %v)", bd)
 	}
 	for _, th := range m.Threads() {
-		if got := th.Stalls().Total(); got != th.StallCycles() {
-			t.Errorf("thread %d: reasons sum to %d, StallCycles = %d", th.ID, got, th.StallCycles())
+		if got := th.Stalls.Total(); got != th.Stall {
+			t.Errorf("thread %d: reasons sum to %d, Stall = %d", th.ID, got, th.Stall)
 		}
 	}
 }

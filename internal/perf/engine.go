@@ -288,8 +288,8 @@ func (m *Machine) Threads() []*T { return m.threads }
 // aggregates).
 func (m *Machine) TotalRunStall() (run, stall uint64) {
 	for _, t := range m.threads {
-		run += t.run
-		stall += t.stall
+		run += t.Run
+		stall += t.Stall
 	}
 	return run, stall
 }
@@ -298,9 +298,18 @@ func (m *Machine) TotalRunStall() (run, stall uint64) {
 func (m *Machine) TotalBreakdown() obs.Breakdown {
 	var b obs.Breakdown
 	for _, t := range m.threads {
-		b.AddAll(t.stalls)
+		b.AddAll(t.Stalls)
 	}
 	return b
+}
+
+// TotalMemWaits sums the memory-wait attribution over all threads.
+func (m *Machine) TotalMemWaits() obs.MemWaits {
+	var w obs.MemWaits
+	for _, t := range m.threads {
+		w.AddAll(t.MemWaits)
+	}
+	return w
 }
 
 // Snapshot captures the run's cycle accounting and resource telemetry in
@@ -309,13 +318,7 @@ func (m *Machine) TotalBreakdown() obs.Breakdown {
 func (m *Machine) Snapshot() *obs.Snapshot {
 	s := &obs.Snapshot{Cycles: m.Elapsed(), Resources: m.Chip.ResourceStats()}
 	for _, t := range m.threads {
-		s.Threads = append(s.Threads, obs.ThreadStat{
-			ID:     t.ID,
-			Quad:   t.Quad,
-			Run:    t.run,
-			Stall:  t.stall,
-			Stalls: t.stalls,
-		})
+		s.Threads = append(s.Threads, t.ThreadStat(t.ID, t.Quad, 0))
 	}
 	s.Finish()
 	return s

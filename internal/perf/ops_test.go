@@ -46,8 +46,8 @@ func TestGatherScatter(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 200 accesses issued: at least that many run cycles.
-	if th.RunCycles() < 200 {
-		t.Errorf("gather+scatter issued %d run cycles, want >= 200", th.RunCycles())
+	if th.Run < 200 {
+		t.Errorf("gather+scatter issued %d run cycles, want >= 200", th.Run)
 	}
 	// Empty inputs are no-ops.
 	m2 := NewDefault()
@@ -113,8 +113,8 @@ func TestFPBlockPipelines(t *testing.T) {
 	if err := m2.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if th2.RunCycles() != 500 {
-		t.Errorf("FPBlock(500) issued %d ops", th2.RunCycles())
+	if th2.Run != 500 {
+		t.Errorf("FPBlock(500) issued %d ops", th2.Run)
 	}
 	// Zero-length is a no-op.
 	m3 := NewDefault()
@@ -142,7 +142,7 @@ func TestStoreBlockBackpressure(t *testing.T) {
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if th.StallCycles() == 0 {
+	if th.Stall == 0 {
 		t.Error("12800 stores to one bank never stalled")
 	}
 }
@@ -170,7 +170,7 @@ func TestBlockChunkingPreservesTotals(t *testing.T) {
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if th.RunCycles() != 100 {
-		t.Errorf("LoadBlock(100) issued %d cycles of work", th.RunCycles())
+	if th.Run != 100 {
+		t.Errorf("LoadBlock(100) issued %d cycles of work", th.Run)
 	}
 }

@@ -56,9 +56,9 @@ func TestScoreboardStallsOnDependence(t *testing.T) {
 	if err := m2.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if chain.StallCycles() <= indep.StallCycles()+40 {
+	if chain.Stall <= indep.Stall+40 {
 		t.Errorf("dependent chain stalled %d, independent %d; want ~50 cycle gap",
-			chain.StallCycles(), indep.StallCycles())
+			chain.Stall, indep.Stall)
 	}
 }
 
@@ -127,11 +127,11 @@ func TestHWBarrierSpinIsRunCycles(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The fast thread spun ~500 cycles on its own SPR: run, not stall.
-	if fast.RunCycles() < 450 {
-		t.Errorf("hw barrier spin counted %d run cycles, want ~500", fast.RunCycles())
+	if fast.Run < 450 {
+		t.Errorf("hw barrier spin counted %d run cycles, want ~500", fast.Run)
 	}
-	if fast.StallCycles() > 50 {
-		t.Errorf("hw barrier charged %d stall cycles, want ~0", fast.StallCycles())
+	if fast.Stall > 50 {
+		t.Errorf("hw barrier charged %d stall cycles, want ~0", fast.Stall)
 	}
 }
 
@@ -350,13 +350,13 @@ func TestWorkAndStallAccounting(t *testing.T) {
 	var th *T
 	th, _ = m.Spawn(func(t *T) {
 		t.Work(100)
-		t.Stall(50)
+		t.Idle(50)
 	})
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if th.RunCycles() != 100 || th.StallCycles() != 50 {
-		t.Errorf("run/stall = %d/%d, want 100/50", th.RunCycles(), th.StallCycles())
+	if th.Run != 100 || th.Stall != 50 {
+		t.Errorf("run/stall = %d/%d, want 100/50", th.Run, th.Stall)
 	}
 	if th.Now() != 150 {
 		t.Errorf("now = %d, want 150", th.Now())
@@ -379,7 +379,7 @@ func TestStoreBackpressureInRuntime(t *testing.T) {
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if th.StallCycles() == 0 {
+	if th.Stall == 0 {
 		t.Error("unbounded store stream never hit write-buffer backpressure")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"cyclops/internal/cache"
 	"cyclops/internal/isa"
 	"cyclops/internal/obs"
+	"cyclops/internal/timing"
 )
 
 // T is one simulated Cyclops thread: a virtual clock plus the in-order
@@ -18,11 +19,11 @@ type T struct {
 	resume chan struct{}
 	wakes  []event
 
-	now        uint64
-	run, stall uint64
-	// stalls splits stall by reason; every charge goes through stallFor
-	// so the buckets sum to stall exactly.
-	stalls obs.Breakdown
+	now uint64
+	// Ledger is the thread's cycle account; the charge rules live in
+	// internal/timing, shared with the instruction-level simulator. Its
+	// Run/Stall/Stalls/MemWaits fields are promoted into T.
+	timing.Ledger
 }
 
 // Val is a dataflow token: the virtual cycle at which a produced value
@@ -38,39 +39,15 @@ func (v Val) Ready() uint64 { return v.ready }
 // Now returns the thread's virtual clock.
 func (t *T) Now() uint64 { return t.now }
 
-// RunCycles and StallCycles expose the Figure 7 accounting.
-func (t *T) RunCycles() uint64 { return t.run }
-
-// StallCycles returns the cycles lost to dependences, shared-resource
-// contention, memory latency and barrier waits through memory.
-func (t *T) StallCycles() uint64 { return t.stall }
-
-// Stalls returns the per-reason split of StallCycles.
-func (t *T) Stalls() obs.Breakdown { return t.stalls }
-
-// stallFor charges n stall cycles to the legacy total and, when the
-// observability layer is compiled in, to the per-reason bucket.
-func (t *T) stallFor(r obs.StallReason, n uint64) {
-	t.stall += n
-	if obs.Enabled {
-		t.stalls[r] += n
-	}
-}
-
-// chargeStoreWait advances past write backpressure, splitting the wait
-// between the cache port and the DRAM bank using the access's wait
-// attribution (port share first, remainder to the bank).
-func (t *T) chargeStoreWait(a cache.Access) {
+// settleStore books one store's wait attribution and, when the write
+// buffer backpressured, advances the clock past the blockage; the
+// port/bank split is the ledger's shared rule (timing.ChargeMemStall).
+func (t *T) settleStore(a cache.Access) {
+	t.ObserveAccess(a)
 	if a.Done <= t.now {
 		return
 	}
-	over := a.Done - t.now
-	port := a.PortWait
-	if port > over {
-		port = over
-	}
-	t.stallFor(obs.CachePortStall, port)
-	t.stallFor(obs.BankConflictStall, over-port)
+	t.ChargeMemStall(a.Wait, a.Done-t.now)
 	t.now = a.Done
 }
 
@@ -88,13 +65,10 @@ func (t *T) block() {
 }
 
 // waitVals charges the in-order scoreboard stall until every operand is
-// ready.
+// ready — the ledger's WaitReady rule, one operand at a time.
 func (t *T) waitVals(vals ...Val) {
 	for _, v := range vals {
-		if v.ready > t.now {
-			t.stallFor(obs.DepStall, v.ready-t.now)
-			t.now = v.ready
-		}
+		t.now = t.WaitReady(t.now, v.ready)
 	}
 }
 
@@ -103,16 +77,16 @@ func (t *T) waitVals(vals ...Val) {
 // no shared-resource interaction.
 func (t *T) Work(n int) {
 	t.now += uint64(n)
-	t.run += uint64(n)
+	t.ChargeRun(uint64(n))
 }
 
-// Stall advances the clock by n cycles counted as stall (used by
-// synthetic workloads; real stalls come from the operations themselves).
-// Synthetic stalls are booked as sleep/idle: they model time the thread
-// is parked, not contention for a hardware resource.
-func (t *T) Stall(n int) {
+// Idle advances the clock by n cycles counted as sleep/idle stall (used
+// by synthetic workloads; real stalls come from the operations
+// themselves). It models time the thread is parked, not contention for a
+// hardware resource.
+func (t *T) Idle(n int) {
 	t.now += uint64(n)
-	t.stallFor(obs.SleepIdle, uint64(n))
+	t.Charge(obs.SleepIdle, uint64(n))
 }
 
 // --- Memory ----------------------------------------------------------------
@@ -121,7 +95,8 @@ func (t *T) Stall(n int) {
 func (t *T) load(ea uint32, size int) Val {
 	t.acquire()
 	a := t.m.Chip.Data.Load(t.now, ea, size, t.Quad)
-	t.run++
+	t.ObserveAccess(a)
+	t.Run++
 	t.now++
 	return Val{ready: a.Done}
 }
@@ -137,10 +112,10 @@ func (t *T) store(ea uint32, size int, deps ...Val) {
 	t.waitVals(deps...)
 	t.acquire()
 	a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
-	t.run++
+	t.Run++
 	t.now++
 	// Write-buffer backpressure.
-	t.chargeStoreWait(a)
+	t.settleStore(a)
 }
 
 // StoreF64 times a double-precision store of a value produced by deps.
@@ -154,7 +129,8 @@ func (t *T) StoreU32(ea uint32, deps ...Val) { t.store(ea, 4, deps...) }
 func (t *T) Atomic(ea uint32) Val {
 	t.acquire()
 	a := t.m.Chip.Data.Atomic(t.now, ea, 4, t.Quad)
-	t.run++
+	t.ObserveAccess(a)
+	t.Run++
 	t.now++
 	return Val{ready: a.Done}
 }
@@ -178,7 +154,8 @@ func (t *T) LoadBlock(ea uint32, n, size, stride int) Val {
 		t.acquire()
 		for k := 0; k < c; k++ {
 			a := t.m.Chip.Data.Load(t.now, ea+uint32((i+k)*stride), size, t.Quad)
-			t.run++
+			t.ObserveAccess(a)
+			t.Run++
 			t.now++
 			if a.Done > last.ready {
 				last = Val{ready: a.Done}
@@ -200,9 +177,9 @@ func (t *T) StoreBlock(ea uint32, n, size, stride int, deps ...Val) {
 		t.acquire()
 		for k := 0; k < c; k++ {
 			a := t.m.Chip.Data.Store(t.now, ea+uint32((i+k)*stride), size, t.Quad)
-			t.run++
+			t.Run++
 			t.now++
-			t.chargeStoreWait(a)
+			t.settleStore(a)
 		}
 	}
 }
@@ -219,7 +196,8 @@ func (t *T) LoadGather(eas []uint32, size int) Val {
 		t.acquire()
 		for _, ea := range eas[i : i+c] {
 			a := t.m.Chip.Data.Load(t.now, ea, size, t.Quad)
-			t.run++
+			t.ObserveAccess(a)
+			t.Run++
 			t.now++
 			if a.Done > last.ready {
 				last = Val{ready: a.Done}
@@ -241,9 +219,9 @@ func (t *T) StoreScatter(eas []uint32, size int, deps ...Val) {
 		t.acquire()
 		for _, ea := range eas[i : i+c] {
 			a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
-			t.run++
+			t.Run++
 			t.now++
-			t.chargeStoreWait(a)
+			t.settleStore(a)
 		}
 	}
 }
@@ -257,10 +235,10 @@ func (t *T) fp(pipe isa.FPUPipe, exec, extra int, ops ...Val) Val {
 	fpu := t.m.Chip.FPUs[t.Quad]
 	start := fpu.Dispatch(t.now, pipe, exec)
 	if start > t.now {
-		t.stallFor(obs.FPUStall, start-t.now)
+		t.Charge(obs.FPUStall, start-t.now)
 		t.now = start
 	}
-	t.run++
+	t.Run++
 	t.now++
 	return Val{ready: start + uint64(exec+extra)}
 }
@@ -320,10 +298,10 @@ func (t *T) FPBlock(pipe isa.FPUPipe, n int, ops ...Val) Val {
 		for k := 0; k < c; k++ {
 			start := fpu.Dispatch(t.now, pipe, exec)
 			if start > t.now {
-				t.stallFor(obs.FPUStall, start-t.now)
+				t.Charge(obs.FPUStall, start-t.now)
 				t.now = start
 			}
-			t.run++
+			t.Run++
 			t.now++
 			last = Val{ready: start + uint64(exec+extra)}
 		}

@@ -67,8 +67,8 @@ func TestStallReasonsSumToLegacyTotal(t *testing.T) {
 	m := runCounting(t, reasonSrc, &retrySys{left: 3})
 	var want obs.Breakdown
 	for _, tu := range m.TUs {
-		if got := tu.Stalls.Total(); got != tu.StallCycles {
-			t.Errorf("TU %d: reasons sum to %d, StallCycles = %d (%v)", tu.ID, got, tu.StallCycles, tu.Stalls)
+		if got := tu.Stalls.Total(); got != tu.Stall {
+			t.Errorf("TU %d: reasons sum to %d, Stall = %d (%v)", tu.ID, got, tu.Stall, tu.Stalls)
 		}
 		want.AddAll(tu.Stalls)
 	}
@@ -164,7 +164,7 @@ func TestChromeTraceSchema(t *testing.T) {
 	if len(doc.TraceEvents) == 0 {
 		t.Fatal("no trace events")
 	}
-	var meta, slices int
+	var meta, slices, counters int
 	for i, ev := range doc.TraceEvents {
 		ph, _ := ev["ph"].(string)
 		switch ph {
@@ -184,12 +184,31 @@ func TestChromeTraceSchema(t *testing.T) {
 			if dur, _ := ev["dur"].(float64); dur < 1 {
 				t.Errorf("event %d: dur = %v, want >= 1", i, ev["dur"])
 			}
+		case "C":
+			counters++
+			if ev["name"] != "memwait" {
+				t.Errorf("event %d: counter name = %v", i, ev["name"])
+			}
+			args, ok := ev["args"].(map[string]interface{})
+			if !ok {
+				t.Errorf("event %d: counter missing args: %v", i, ev)
+				break
+			}
+			for _, kind := range obs.MemWaitNames() {
+				if _, ok := args[kind].(float64); !ok {
+					t.Errorf("event %d: counter series %q is not numeric: %v", i, kind, args[kind])
+				}
+			}
 		default:
 			t.Errorf("event %d: unexpected phase %q", i, ph)
 		}
 	}
 	if meta == 0 || slices == 0 {
 		t.Errorf("trace has %d metadata and %d slice events, want both > 0", meta, slices)
+	}
+	// One memwait counter per traced unit when accounting is compiled in.
+	if obs.Enabled && counters != meta {
+		t.Errorf("trace has %d counter events for %d traced units", counters, meta)
 	}
 }
 

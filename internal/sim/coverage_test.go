@@ -188,8 +188,8 @@ func TestPIBCrossingLoop(t *testing.T) {
 	prep := "\tli r10, 200\n"
 	mLong := run(t, prep+long)
 	mShort := run(t, prep+short)
-	perInstLong := float64(mLong.TUs[2].StallCycles) / float64(mLong.TUs[2].Insts)
-	perInstShort := float64(mShort.TUs[2].StallCycles) / float64(mShort.TUs[2].Insts)
+	perInstLong := float64(mLong.TUs[2].Stall) / float64(mLong.TUs[2].Insts)
+	perInstShort := float64(mShort.TUs[2].Stall) / float64(mShort.TUs[2].Insts)
 	if perInstLong <= perInstShort {
 		t.Errorf("PIB-crossing loop stalls %.3f/inst, tight loop %.3f/inst; expected more",
 			perInstLong, perInstShort)

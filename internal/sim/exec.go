@@ -7,30 +7,12 @@ import (
 	"cyclops/internal/cache"
 	"cyclops/internal/isa"
 	"cyclops/internal/obs"
+	"cyclops/internal/timing"
 )
 
-// stallFor charges n stall cycles to the legacy total and, when the
-// observability layer is compiled in, to the per-reason bucket. Routing
-// every charge through here is what guarantees the buckets sum to
-// StallCycles exactly.
-func (tu *TU) stallFor(r obs.StallReason, n uint64) {
-	tu.StallCycles += n
-	if obs.Enabled {
-		tu.Stalls[r] += n
-	}
-}
-
-// stallMem splits a memory backpressure stall of n cycles between the
-// cache port and the DRAM bank using the access's wait attribution: the
-// port share is charged first, the remainder to the bank.
-func (tu *TU) stallMem(a cache.Access, n uint64) {
-	port := a.PortWait
-	if port > n {
-		port = n
-	}
-	tu.stallFor(obs.CachePortStall, port)
-	tu.stallFor(obs.BankConflictStall, n-port)
-}
+// All stall charging is delegated to the embedded timing.Ledger
+// (Charge, WaitReady, ChargeMemStall, ObserveAccess): the Table 2 charge
+// rules have exactly one implementation, shared with internal/perf.
 
 // reg reads a register; r0 is hardwired to zero.
 func (tu *TU) reg(r uint8) uint32 {
@@ -70,27 +52,20 @@ func (tu *TU) regReady(r uint8) uint64 {
 	return tu.ready[r]
 }
 
-func maxCycle(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // sources returns the cycle at which all of in's source operands are ready.
-func (tu *TU) sources(in isa.Inst, info *isa.Info) uint64 {
-	var t uint64
+func (tu *TU) sources(in isa.Inst, info *isa.Info) timing.ReadyTime {
+	var t timing.ReadyTime
 	pair := func(r uint8) {
-		t = maxCycle(t, tu.regReady(r))
-		t = maxCycle(t, tu.regReady(r+1))
+		t = timing.MaxReady(t, tu.regReady(r))
+		t = timing.MaxReady(t, tu.regReady(r+1))
 	}
 	switch info.Format {
 	case isa.FmtR:
 		switch {
 		case info.Mem: // atomics: address B, value C, compare A (cas)
-			t = maxCycle(tu.regReady(in.B), tu.regReady(in.C))
+			t = timing.MaxReady(tu.regReady(in.B), tu.regReady(in.C))
 			if in.Op == isa.OpAMOCAS {
-				t = maxCycle(t, tu.regReady(in.A))
+				t = timing.MaxReady(t, tu.regReady(in.A))
 			}
 		case in.Op == isa.OpFCVTDW: // integer source
 			t = tu.regReady(in.B)
@@ -102,7 +77,7 @@ func (tu *TU) sources(in isa.Inst, info *isa.Info) uint64 {
 				pair(in.C)
 			}
 		default:
-			t = maxCycle(tu.regReady(in.B), tu.regReady(in.C))
+			t = timing.MaxReady(tu.regReady(in.B), tu.regReady(in.C))
 		}
 	case isa.FmtR4:
 		pair(in.B)
@@ -117,12 +92,12 @@ func (tu *TU) sources(in isa.Inst, info *isa.Info) uint64 {
 			t = tu.regReady(in.B)
 		}
 	case isa.FmtS:
-		t = maxCycle(tu.regReady(in.A), tu.regReady(in.B))
+		t = timing.MaxReady(tu.regReady(in.A), tu.regReady(in.B))
 		if info.Pair {
-			t = maxCycle(t, tu.regReady(in.A+1))
+			t = timing.MaxReady(t, tu.regReady(in.A+1))
 		}
 	case isa.FmtB:
-		t = maxCycle(tu.regReady(in.A), tu.regReady(in.B))
+		t = timing.MaxReady(tu.regReady(in.A), tu.regReady(in.B))
 	}
 	return t
 }
@@ -155,7 +130,7 @@ func (m *Machine) step(tu *TU) {
 			done := m.Chip.Mem.FillLine(cycle, tu.PC&arch.PhysAddrMask)
 			stall += done - cycle
 		}
-		tu.stallFor(obs.ICacheStall, stall)
+		tu.Charge(obs.ICacheStall, stall)
 		tu.nextAt = cycle + stall
 		return
 	}
@@ -183,10 +158,10 @@ func (m *Machine) step(tu *TU) {
 		in, info, word = e.in, e.info, e.word
 	}
 
-	// Scoreboard: in-order issue waits for source operands.
+	// Scoreboard: in-order issue waits for source operands; the dep-stall
+	// charge is the ledger's WaitReady rule.
 	if ready := tu.sources(in, info); ready > cycle {
-		tu.stallFor(obs.DepStall, ready-cycle)
-		tu.nextAt = ready
+		tu.nextAt = tu.WaitReady(cycle, ready)
 		return
 	}
 
@@ -201,7 +176,7 @@ func (m *Machine) step(tu *TU) {
 		if !m.execSimple(tu, in, cycle) {
 			return
 		}
-		tu.RunCycles++
+		tu.Run++
 		tu.nextAt = cycle + 1
 		if in.Op == isa.OpHALT {
 			m.halt(tu)
@@ -222,20 +197,20 @@ func (m *Machine) step(tu *TU) {
 				m.halt(tu)
 				return
 			case res.Retry:
-				tu.stallFor(obs.SleepIdle, cost)
-				tu.RunCycles-- // the retried issue is a stall, not work
+				tu.Charge(obs.SleepIdle, cost)
+				tu.Run-- // the retried issue is a stall, not work
 				tu.Insts--
 				tu.nextAt = cycle + cost
 				return
 			default:
-				tu.RunCycles += cost - 1
+				tu.Run += cost - 1
 				tu.nextAt = cycle + cost
 			}
 		}
 
 	case isa.ClassBranch:
 		taken, target := m.execBranch(tu, in, cycle)
-		tu.RunCycles += uint64(lat.BranchExec)
+		tu.Run += uint64(lat.BranchExec)
 		tu.nextAt = cycle + uint64(lat.BranchExec)
 		if taken {
 			nextPC = target
@@ -244,7 +219,7 @@ func (m *Machine) step(tu *TU) {
 	case isa.ClassIntMul:
 		v := int32(tu.reg(in.B)) * int32(tu.reg(in.C))
 		tu.setReg(in.A, uint32(v), cycle+uint64(lat.IntMulExec+lat.IntMulLatency))
-		tu.RunCycles += uint64(lat.IntMulExec)
+		tu.Run += uint64(lat.IntMulExec)
 		tu.nextAt = cycle + uint64(lat.IntMulExec)
 
 	case isa.ClassIntDiv:
@@ -262,7 +237,7 @@ func (m *Machine) step(tu *TU) {
 		// The private divider blocks the thread for the whole execution.
 		exec := uint64(lat.IntDivExec)
 		tu.setReg(in.A, v, cycle+exec)
-		tu.RunCycles += exec
+		tu.Run += exec
 		tu.nextAt = cycle + exec
 
 	case isa.ClassFP, isa.ClassFPDiv, isa.ClassFPSqrt, isa.ClassFMA:
@@ -273,13 +248,14 @@ func (m *Machine) step(tu *TU) {
 		if !ok {
 			return
 		}
-		tu.RunCycles += uint64(lat.MemExec)
+		tu.ObserveAccess(acc)
+		tu.Run += uint64(lat.MemExec)
 		tu.nextAt = cycle + uint64(lat.MemExec)
 		if freeAt > tu.nextAt {
-			// Store backpressure: the write buffer is full, the
-			// thread holds until the bank drains (the port share of
-			// the wait is charged to the port).
-			tu.stallMem(acc, freeAt-tu.nextAt)
+			// Store backpressure: the write buffer is full, the thread
+			// holds until the bank drains; the ledger's split rule
+			// attributes the wait between port and bank.
+			tu.ChargeMemStall(acc.Wait, freeAt-tu.nextAt)
 			tu.nextAt = freeAt
 		}
 	}
@@ -439,11 +415,11 @@ func (m *Machine) execFP(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) {
 	fpu := m.Chip.FPUs[tu.Quad]
 	start := fpu.Dispatch(cycle, info.Pipe, exec)
 	if start > cycle {
-		tu.stallFor(obs.FPUStall, start-cycle)
+		tu.Charge(obs.FPUStall, start-cycle)
 	}
 	done := start + uint64(exec+extra)
 	// The thread issues in one cycle; the pipe carries the rest.
-	tu.RunCycles++
+	tu.Run++
 	tu.nextAt = start + 1
 
 	writeF := func(f float64) {

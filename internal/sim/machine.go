@@ -16,6 +16,7 @@ import (
 
 	"cyclops/internal/core"
 	"cyclops/internal/obs"
+	"cyclops/internal/timing"
 )
 
 // State is a thread unit's scheduling state.
@@ -55,13 +56,11 @@ type TU struct {
 	decPage    *decPage
 	decPageKey uint32
 
-	// RunCycles counts cycles spent busy computing; StallCycles counts
-	// cycles stalled on dependences, shared resources or fetch — the
-	// quantities Figure 7 reports.
-	RunCycles, StallCycles uint64
-	// Stalls splits StallCycles by reason; the buckets always sum to
-	// StallCycles exactly (every charge goes through stallFor).
-	Stalls obs.Breakdown
+	// Ledger is the unit's cycle account (the Figure 7 run/stall totals,
+	// per-reason buckets and memory-wait attribution). The charge rules
+	// live in internal/timing, shared with the direct-execution runtime;
+	// its Run/Stall/Stalls/MemWaits fields are promoted into TU.
+	timing.Ledger
 	// StartCycle and EndCycle bound the unit's active lifetime.
 	StartCycle, EndCycle uint64
 	// Insts counts issued instructions.
@@ -364,22 +363,24 @@ func (m *Machine) TotalBreakdown() obs.Breakdown {
 	return b
 }
 
+// TotalMemWaits sums the memory-wait attribution over all units.
+func (m *Machine) TotalMemWaits() obs.MemWaits {
+	var w obs.MemWaits
+	for _, tu := range m.TUs {
+		w.AddAll(tu.MemWaits)
+	}
+	return w
+}
+
 // Snapshot captures the run's cycle accounting and resource telemetry in
 // the deterministic export form. Units that never issued are omitted.
 func (m *Machine) Snapshot() *obs.Snapshot {
 	s := &obs.Snapshot{Cycles: m.cycle, Resources: m.Chip.ResourceStats()}
 	for _, tu := range m.TUs {
-		if tu.Insts == 0 && tu.RunCycles == 0 && tu.StallCycles == 0 {
+		if tu.Insts == 0 && tu.Run == 0 && tu.Stall == 0 {
 			continue
 		}
-		s.Threads = append(s.Threads, obs.ThreadStat{
-			ID:     tu.ID,
-			Quad:   tu.Quad,
-			Insts:  tu.Insts,
-			Run:    tu.RunCycles,
-			Stall:  tu.StallCycles,
-			Stalls: tu.Stalls,
-		})
+		s.Threads = append(s.Threads, tu.ThreadStat(tu.ID, tu.Quad, tu.Insts))
 	}
 	s.Finish()
 	return s

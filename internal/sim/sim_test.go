@@ -355,8 +355,8 @@ func TestDependentAddsRunOnePerCycle(t *testing.T) {
 	indep.WriteString("halt")
 	ind := run(t, indep.String())
 	d, i := dep.TUs[2], ind.TUs[2]
-	if d.RunCycles != i.RunCycles {
-		t.Errorf("dependent adds %d run cycles vs independent %d", d.RunCycles, i.RunCycles)
+	if d.Run != i.Run {
+		t.Errorf("dependent adds %d run cycles vs independent %d", d.Run, i.Run)
 	}
 }
 
@@ -386,9 +386,9 @@ buf:	.word 7
 buf:	.word 7
 	`)
 	c, f := chained.TUs[2], free.TUs[2]
-	if c.StallCycles <= f.StallCycles {
+	if c.Stall <= f.Stall {
 		t.Errorf("load-use chain stalled %d cycles, independent %d: expected more stalls with dependences",
-			c.StallCycles, f.StallCycles)
+			c.Stall, f.Stall)
 	}
 }
 
@@ -408,9 +408,9 @@ func TestFPLatencyChain(t *testing.T) {
 	fadd d26, d20, d22
 	halt
 	`)
-	if dep.TUs[2].StallCycles < ind.TUs[2].StallCycles+12 {
+	if dep.TUs[2].Stall < ind.TUs[2].Stall+12 {
 		t.Errorf("dependent FP chain stalls = %d, independent = %d; want >= 12 cycle gap",
-			dep.TUs[2].StallCycles, ind.TUs[2].StallCycles)
+			dep.TUs[2].Stall, ind.TUs[2].Stall)
 	}
 }
 
@@ -427,7 +427,7 @@ func TestIntDivBlocksThread(t *testing.T) {
 	add r10, r8, r9
 	halt
 	`)
-	gap := div.TUs[2].RunCycles - add.TUs[2].RunCycles
+	gap := div.TUs[2].Run - add.TUs[2].Run
 	if gap != 32 { // 33-cycle divide vs 1-cycle add
 		t.Errorf("divide run-cycle gap = %d, want 32", gap)
 	}
@@ -541,12 +541,12 @@ loop:	addi r8, r8, -1
 	halt
 	`)
 	tu := m.TUs[2]
-	if tu.RunCycles == 0 {
+	if tu.Run == 0 {
 		t.Fatal("no run cycles recorded")
 	}
 	total := tu.EndCycle - tu.StartCycle
-	if tu.RunCycles+tu.StallCycles > total+2 {
-		t.Errorf("run %d + stall %d exceeds elapsed %d", tu.RunCycles, tu.StallCycles, total)
+	if tu.Run+tu.Stall > total+2 {
+		t.Errorf("run %d + stall %d exceeds elapsed %d", tu.Run, tu.Stall, total)
 	}
 	if tu.Insts < 100 {
 		t.Errorf("instruction count = %d, want >= 100", tu.Insts)

@@ -75,10 +75,12 @@ func (tb *TraceBuffer) Len() int {
 
 // ChromeTrace renders the machine's trace buffer as Chrome trace-event
 // JSON: one timeline per thread unit (grouped by quad as the process),
-// one slice per issued instruction. A slice spans from the instruction's
-// issue to the unit's next issue, so stalls show up as long slices on the
-// instruction that preceded them; chrome://tracing and Perfetto both load
-// the output directly.
+// one slice per issued instruction, and — when the observability layer is
+// compiled in — one "memwait" counter sample per unit publishing its
+// final port/bank/fill/hop memory-wait attribution. A slice spans from
+// the instruction's issue to the unit's next issue, so stalls show up as
+// long slices on the instruction that preceded them; chrome://tracing
+// and Perfetto both load the output directly.
 func (m *Machine) ChromeTrace(w io.Writer) error {
 	if m.Trace == nil {
 		return fmt.Errorf("sim: no trace buffer attached (set Machine.Trace)")
@@ -127,7 +129,33 @@ func (m *Machine) ChromeTrace(w io.Writer) error {
 			},
 		})
 	}
-	return obs.WriteChromeTrace(w, threads, slices)
+
+	// Publish each traced unit's memory-wait attribution as a counter
+	// sample at its last recorded issue, in the same kind order as the
+	// breakdown table columns.
+	var counters []obs.TraceCounter
+	if obs.Enabled {
+		lastIssue := make(map[int]uint64, len(tids))
+		for _, e := range entries { // oldest first: last write wins
+			lastIssue[e.TID] = e.Cycle
+		}
+		names := obs.MemWaitNames()
+		for _, tid := range tids {
+			tu := m.TUs[tid]
+			series := make([][2]string, len(names))
+			for k, name := range names {
+				series[k] = [2]string{name, fmt.Sprintf("%d", tu.MemWaits[obs.MemWaitKind(k)])}
+			}
+			counters = append(counters, obs.TraceCounter{
+				Name:   "memwait",
+				PID:    m.Chip.Cfg.QuadOf(tid),
+				TID:    tid,
+				At:     lastIssue[tid],
+				Series: series,
+			})
+		}
+	}
+	return obs.WriteChromeTrace(w, threads, slices, counters)
 }
 
 // Dump renders the buffer, oldest first.

@@ -47,6 +47,9 @@ type Result struct {
 	Run, Stall uint64
 	// Stalls splits Stall by reason; it sums to Stall exactly.
 	Stalls obs.Breakdown
+	// MemWaits sub-attributes memory-system waits by location
+	// (port/bank/fill/hop), summed over threads.
+	MemWaits obs.MemWaits
 }
 
 // Speedup returns base.Cycles / r.Cycles.
@@ -111,13 +114,14 @@ func (b *barrier) wait(t *perf.T, index int) {
 func result(name, problem string, threads int, m *perf.Machine) *Result {
 	run, stall := m.TotalRunStall()
 	return &Result{
-		Name:    name,
-		Threads: threads,
-		Problem: problem,
-		Cycles:  m.Elapsed(),
-		Run:     run,
-		Stall:   stall,
-		Stalls:  m.TotalBreakdown(),
+		Name:     name,
+		Threads:  threads,
+		Problem:  problem,
+		Cycles:   m.Elapsed(),
+		Run:      run,
+		Stall:    stall,
+		Stalls:   m.TotalBreakdown(),
+		MemWaits: m.TotalMemWaits(),
 	}
 }
 

@@ -23,9 +23,11 @@ type Result struct {
 	Insts uint64
 	// Run and Stall are the Figure 7 cycle totals summed over every
 	// thread unit (workers plus the spawning main thread); Stalls splits
-	// Stall by reason and sums to it exactly.
+	// Stall by reason and sums to it exactly. MemWaits sub-attributes
+	// memory-system waits by location (port/bank/fill/hop).
 	Run, Stall uint64
 	Stalls     obs.Breakdown
+	MemWaits   obs.MemWaits
 }
 
 // Bandwidth returns the aggregate best-rep bandwidth in bytes/second at
@@ -96,9 +98,10 @@ func RunOn(chip *core.Chip, p Params, policy Policy) (*Result, error) {
 	}
 	res := &Result{Params: p, Insts: k.Machine().TotalInsts()}
 	for _, tu := range k.Machine().TUs {
-		res.Run += tu.RunCycles
-		res.Stall += tu.StallCycles
+		res.Run += tu.Run
+		res.Stall += tu.Stall
 		res.Stalls.AddAll(tu.Stalls)
+		res.MemWaits.AddAll(tu.MemWaits)
 	}
 	total := p.N
 	if p.Independent {

@@ -1,0 +1,123 @@
+// Package timing owns the per-thread cycle ledger: the single
+// implementation of the paper's Table 2 charge rules shared by both
+// execution frontends. The instruction-level simulator (internal/sim)
+// and the direct-execution runtime (internal/perf) embed a Ledger per
+// thread and route every run and stall cycle through it, so the charge
+// rules — the run/stall split of Figure 7, the in-order scoreboard
+// dependence wait, and the port-first/bank-remainder attribution of
+// memory backpressure — exist in exactly one place and every reported
+// table agrees across engines by construction rather than by test.
+//
+// The ledger also owns memory-wait attribution: each timed data access
+// carries a cache.Wait (produced once, in internal/cache) saying where
+// it queued or travelled — cache port, DRAM bank, in-flight line fill,
+// remote cache-switch hop — and ObserveAccess accumulates that into the
+// per-thread obs.MemWaits telemetry exported by snapshots, the harness
+// breakdown table and the Chrome trace counters.
+//
+// Everything here is allocation-free and branch-light: with the
+// cyclops_noobs build tag the per-reason and per-kind increments compile
+// out (obs.Enabled is a false constant) and only the legacy Run/Stall
+// totals remain.
+package timing
+
+import (
+	"cyclops/internal/cache"
+	"cyclops/internal/obs"
+)
+
+// ReadyTime is the shared ready-time abstraction: the cycle at which a
+// produced value becomes available to dependent operations. The
+// simulator's register scoreboard (TU.ready) and the runtime's dataflow
+// tokens (perf.Val) both carry ReadyTimes; the ledger's WaitReady is the
+// one rule that turns an unmet ReadyTime into a dependence stall.
+type ReadyTime = uint64
+
+// MaxReady returns the later of two ready-times (operand joins).
+func MaxReady(a, b ReadyTime) ReadyTime {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Ledger is one thread's cycle account: the Figure 7 run/stall totals,
+// the per-reason stall buckets, and the memory-wait sub-attribution.
+// The zero value is ready to use. Because every stall charge goes
+// through Charge, the buckets sum to Stall exactly — the invariant is
+// structural, pinned once by this package's tests.
+type Ledger struct {
+	// Run counts cycles the thread spent issuing; Stall counts cycles
+	// it was blocked on dependences, shared resources or spin-waits.
+	Run, Stall uint64
+	// Stalls splits Stall by reason; buckets sum to Stall exactly.
+	Stalls obs.Breakdown
+	// MemWaits sub-attributes memory-system waits by location
+	// (port/bank/fill/hop), accumulated per access by ObserveAccess.
+	MemWaits obs.MemWaits
+}
+
+// ChargeRun books n cycles of issued work.
+func (l *Ledger) ChargeRun(n uint64) { l.Run += n }
+
+// Charge books n stall cycles to reason r: the legacy total moves
+// unconditionally, the per-reason bucket only when the observability
+// layer is compiled in.
+func (l *Ledger) Charge(r obs.StallReason, n uint64) {
+	l.Stall += n
+	if obs.Enabled {
+		l.Stalls[r] += n
+	}
+}
+
+// WaitReady is the in-order scoreboard rule shared by both engines: if
+// an operand's ready-time lies past now, issue stalls for the difference
+// (charged to DepStall) and resumes at ready. It returns the
+// possibly-advanced current time.
+func (l *Ledger) WaitReady(now uint64, ready ReadyTime) uint64 {
+	if ready > now {
+		l.Charge(obs.DepStall, ready-now)
+		return ready
+	}
+	return now
+}
+
+// ChargeMemStall is the Table 2 split rule for memory backpressure — the
+// only implementation in the module. Of the n cycles a thread is blocked
+// behind the write path, the access's measured port-queue share is
+// charged first to CachePortStall and the remainder to BankConflictStall
+// (DRAM burst queueing).
+func (l *Ledger) ChargeMemStall(w cache.Wait, n uint64) {
+	port := w.Port
+	if port > n {
+		port = n
+	}
+	l.Charge(obs.CachePortStall, port)
+	l.Charge(obs.BankConflictStall, n-port)
+}
+
+// ObserveAccess accumulates one timed access's wait attribution into the
+// per-thread MemWaits telemetry. Unlike Charge this is not a stall: load
+// waits surface later as dep stalls through the scoreboard, but their
+// location in the memory system is only known here.
+func (l *Ledger) ObserveAccess(a cache.Access) {
+	if obs.Enabled {
+		l.MemWaits[obs.MemWaitPort] += a.Wait.Port
+		l.MemWaits[obs.MemWaitBank] += a.Wait.Bank
+		l.MemWaits[obs.MemWaitFill] += a.Wait.Fill
+		l.MemWaits[obs.MemWaitHop] += a.Wait.Hop
+	}
+}
+
+// ThreadStat exports the ledger as one snapshot row.
+func (l *Ledger) ThreadStat(id, quad int, insts uint64) obs.ThreadStat {
+	return obs.ThreadStat{
+		ID:       id,
+		Quad:     quad,
+		Insts:    insts,
+		Run:      l.Run,
+		Stall:    l.Stall,
+		Stalls:   l.Stalls,
+		MemWaits: l.MemWaits,
+	}
+}
