@@ -1,0 +1,34 @@
+//go:build ignore
+
+// Emits the generated STREAM assembly so CI can drive cyclops-sim's
+// profiler against the real benchmark program:
+//
+//	go run ./ci/gen_stream.go [out.s]
+//
+// The parameters mirror the harness profile table's small scale: Triad,
+// 8 threads, 504 elements per thread, local caches, two repetitions.
+package main
+
+import (
+	"log"
+	"os"
+
+	"cyclops/internal/stream"
+)
+
+func main() {
+	out := "stream_triad.s"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+	src, err := stream.Generate(stream.Params{
+		Kernel: stream.Triad, Threads: 8, N: 4032, Local: true, Reps: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, []byte(src), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cyclops-asm [-o prog.cyc] [-sym prog.sym] prog.s
+//	cyclops-asm [-o prog.cyc] [-sym prog.sym] [-listing] prog.s
 //	cyclops-asm -d prog.cyc
 package main
 
@@ -22,19 +22,20 @@ func main() {
 	out := flag.String("o", "", "output image file (default: input with .cyc)")
 	symOut := flag.String("sym", "", "also write a symbol listing to this file")
 	disasm := flag.Bool("d", false, "disassemble an image file instead of assembling")
+	listing := flag.Bool("listing", false, "print an address/bytes/source listing to stdout")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-asm [-o out.cyc] [-sym out.sym] prog.s | cyclops-asm -d prog.cyc")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-asm [-o out.cyc] [-sym out.sym] [-listing] prog.s | cyclops-asm -d prog.cyc")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
-	if err := run(in, *out, *symOut, *disasm); err != nil {
+	if err := run(in, *out, *symOut, *disasm, *listing); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-asm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, symOut string, disasm bool) error {
+func run(in, out, symOut string, disasm, listing bool) error {
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
@@ -50,6 +51,10 @@ func run(in, out, symOut string, disasm bool) error {
 	prog, err := asm.Assemble(string(data))
 	if err != nil {
 		return err
+	}
+	prog.File = in
+	if listing {
+		fmt.Print(asm.Listing(prog, string(data)))
 	}
 	if out == "" {
 		out = strings.TrimSuffix(in, ".s") + ".cyc"

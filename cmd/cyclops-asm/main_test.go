@@ -15,7 +15,7 @@ func TestAssembleAndDisassemble(t *testing.T) {
 	if err := os.WriteFile(src, []byte("_start:\tadd r3, r4, r5\n\thalt\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(src, out, sym, false); err != nil {
+	if err := run(src, out, sym, false, true); err != nil {
 		t.Fatal(err)
 	}
 	img, err := os.ReadFile(out)
@@ -27,7 +27,7 @@ func TestAssembleAndDisassemble(t *testing.T) {
 		t.Fatalf("symbols: %v %q", err, syms)
 	}
 	// Disassembly path parses the image.
-	if err := run(out, "", "", true); err != nil {
+	if err := run(out, "", "", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -36,14 +36,14 @@ func TestErrorsSurface(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "bad.s")
 	os.WriteFile(src, []byte("frobnicate r1\n"), 0o644)
-	if err := run(src, filepath.Join(dir, "o.cyc"), "", false); err == nil {
+	if err := run(src, filepath.Join(dir, "o.cyc"), "", false, false); err == nil {
 		t.Error("bad source assembled")
 	}
-	if err := run(filepath.Join(dir, "missing.s"), "", "", false); err == nil {
+	if err := run(filepath.Join(dir, "missing.s"), "", "", false, false); err == nil {
 		t.Error("missing input accepted")
 	}
 	os.WriteFile(src, []byte("not an image"), 0o644)
-	if err := run(src, "", "", true); err == nil {
+	if err := run(src, "", "", true, false); err == nil {
 		t.Error("garbage disassembled")
 	}
 }

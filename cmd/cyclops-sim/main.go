@@ -5,11 +5,18 @@
 //
 //	cyclops-sim [-max N] [-balanced] [-stats] prog.s
 //	cyclops-sim [-stats-json stats.json] [-trace-out trace.json] prog.cyc
+//	cyclops-sim [-profile-out p.pb.gz] [-sample-every N] [-timeline-out t.csv] prog.s
 //
 // Assembly sources (any extension but .cyc) are assembled on the fly.
 // -trace-out writes a Chrome trace-event timeline (load it in Perfetto or
 // chrome://tracing); -stats-json writes the deterministic statistics
-// snapshot ("-" = stdout for both).
+// snapshot ("-" = stdout for both). -profile-out attaches the guest
+// profiler (deterministic PC sampling every -sample-every simulated
+// cycles per thread) and writes a gzipped pprof protobuf for
+// `go tool pprof`; -timeline-out writes the interval telemetry timeline
+// as CSV (or JSON when the file ends in .json). Every output file is
+// created up front, so a bad path fails before the simulation runs
+// rather than after.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"cyclops/internal/image"
 	"cyclops/internal/kernel"
 	"cyclops/internal/obs"
+	"cyclops/internal/prof"
 	"cyclops/internal/sim"
 )
 
@@ -35,22 +43,41 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write a deterministic JSON statistics snapshot to this file (- = stdout)")
 	trace := flag.Int("trace", 0, "dump the last N issued instructions after the run")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file (- = stdout)")
+	profileOut := flag.String("profile-out", "", "write a gzipped pprof profile of the guest program to this file")
+	sampleEvery := flag.Uint64("sample-every", 64, "profiler sampling interval in simulated cycles per thread")
+	timelineOut := flag.String("timeline-out", "", "write the interval telemetry timeline to this file (.json = JSON, else CSV; - = stdout)")
+	timelineEvery := flag.Uint64("timeline-every", 4096, "telemetry timeline interval in simulated cycles")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] prog.{s,cyc}")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *maxCycles, *balanced, *stats, *statsJSON, *trace, *traceOut); err != nil {
+	opts := options{
+		maxCycles: *maxCycles, balanced: *balanced, stats: *stats,
+		statsJSON: *statsJSON, trace: *trace, traceOut: *traceOut,
+		profileOut: *profileOut, sampleEvery: *sampleEvery,
+		timelineOut: *timelineOut, timelineEvery: *timelineEvery,
+	}
+	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
 		os.Exit(1)
 	}
+}
+
+type options struct {
+	maxCycles                  uint64
+	balanced, stats            bool
+	statsJSON, traceOut        string
+	trace                      int
+	profileOut, timelineOut    string
+	sampleEvery, timelineEvery uint64
 }
 
 // traceBufferLen sizes the ring when only -trace-out asks for tracing: big
 // enough to hold every issue of a typical run, small enough to stay cheap.
 const traceBufferLen = 1 << 20
 
-func run(path string, maxCycles uint64, balanced, stats bool, statsJSON string, trace int, traceOut string) error {
+func run(path string, o options) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -60,65 +87,141 @@ func run(path string, maxCycles uint64, balanced, stats bool, statsJSON string, 
 		prog, err = image.Decode(data)
 	} else {
 		prog, err = asm.Assemble(string(data))
+		if prog != nil {
+			prog.File = path
+		}
 	}
 	if err != nil {
 		return err
 	}
+
+	// Create every requested output up front: a bad path must fail
+	// before the simulation runs, not lose the results after it.
+	outStats, err := createOut(o.statsJSON)
+	if err != nil {
+		return err
+	}
+	outTrace, err := createOut(o.traceOut)
+	if err != nil {
+		return err
+	}
+	outProfile, err := createOut(o.profileOut)
+	if err != nil {
+		return err
+	}
+	outTimeline, err := createOut(o.timelineOut)
+	if err != nil {
+		return err
+	}
+
 	chip := core.MustNew(arch.Default())
 	k := kernel.New(chip)
-	if balanced {
+	if o.balanced {
 		k.Policy = kernel.Balanced
 	}
-	k.Machine().MaxCycles = maxCycles
-	if trace > 0 {
-		k.Machine().Trace = sim.NewTraceBuffer(trace)
-	} else if traceOut != "" {
+	k.Machine().MaxCycles = o.maxCycles
+	if o.trace > 0 {
+		k.Machine().Trace = sim.NewTraceBuffer(o.trace)
+	} else if o.traceOut != "" {
 		k.Machine().Trace = sim.NewTraceBuffer(traceBufferLen)
+	}
+	var pr *prof.Profile
+	var tl *prof.Timeline
+	if o.profileOut != "" {
+		if !obs.Enabled {
+			return fmt.Errorf("-profile-out requires the observability layer (built without cyclops_noobs)")
+		}
+		pr = prof.New(o.sampleEvery)
+		k.Machine().AttachProfile(pr)
+	}
+	if o.timelineOut != "" {
+		if !obs.Enabled {
+			return fmt.Errorf("-timeline-out requires the observability layer (built without cyclops_noobs)")
+		}
+		tl = prof.NewTimeline(o.timelineEvery)
+		k.Machine().AttachTimeline(tl)
 	}
 	if err := k.Boot(prog); err != nil {
 		return err
 	}
 	runErr := k.Run()
 	os.Stdout.Write(k.Output)
-	if trace > 0 {
+	if o.trace > 0 {
 		fmt.Print(k.Machine().Trace.Dump())
 	}
 	fmt.Printf("\n[%d cycles, %d instructions, %.3f ms at 500 MHz]\n",
 		k.Machine().Cycle(), k.Machine().TotalInsts(),
 		float64(k.Machine().Cycle())/arch.ClockHz*1e3)
-	if stats {
+	if o.stats {
 		printStats(k.Machine(), chip)
 	}
-	if statsJSON != "" {
-		err := writeTo(statsJSON, func(w io.Writer) error {
-			return k.Machine().Snapshot().WriteJSON(w)
-		})
-		if err != nil {
-			return err
-		}
+	if pr != nil {
+		fmt.Printf("profile: %d samples every %d cycles\n", pr.TotalSamples(), pr.Interval)
+		pr.Report(prog).WriteText(os.Stdout, 10)
 	}
-	if traceOut != "" {
-		if err := writeTo(traceOut, k.Machine().ChromeTrace); err != nil {
-			return err
+	if err := outStats.emit(func(w io.Writer) error {
+		return k.Machine().Snapshot().WriteJSON(w)
+	}); err != nil {
+		return err
+	}
+	if err := outTrace.emit(k.Machine().ChromeTrace); err != nil {
+		return err
+	}
+	if err := outProfile.emit(func(w io.Writer) error {
+		return pr.WritePprof(w, prog)
+	}); err != nil {
+		return err
+	}
+	if err := outTimeline.emit(func(w io.Writer) error {
+		if strings.HasSuffix(o.timelineOut, ".json") {
+			return tl.WriteJSON(w)
 		}
+		return tl.WriteCSV(w)
+	}); err != nil {
+		return err
 	}
 	return runErr
 }
 
-// writeTo streams output to the named file, or to stdout for "-".
-func writeTo(path string, emit func(io.Writer) error) error {
+// outFile is a pre-created output destination ("-" = stdout, nil = off).
+type outFile struct {
+	path string
+	f    *os.File
+}
+
+// createOut creates (truncating) the named output file immediately, so
+// an unwritable path fails before the run instead of discarding its
+// results afterwards.
+func createOut(path string) (*outFile, error) {
+	if path == "" {
+		return nil, nil
+	}
 	if path == "-" {
-		return emit(os.Stdout)
+		return &outFile{path: path, f: os.Stdout}, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("cannot create output file: %w", err)
 	}
-	if err := emit(f); err != nil {
-		f.Close()
-		return err
+	return &outFile{path: path, f: f}, nil
+}
+
+// emit streams the output and closes the file; a nil receiver is off.
+func (o *outFile) emit(fn func(io.Writer) error) error {
+	if o == nil {
+		return nil
 	}
-	return f.Close()
+	if o.f == os.Stdout {
+		return fn(o.f)
+	}
+	if err := fn(o.f); err != nil {
+		o.f.Close()
+		return fmt.Errorf("writing %s: %w", o.path, err)
+	}
+	if err := o.f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", o.path, err)
+	}
+	return nil
 }
 
 func printStats(m *sim.Machine, chip *core.Chip) {

@@ -1,0 +1,276 @@
+package cyclops_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"cyclops"
+	"cyclops/experiments"
+	"cyclops/internal/splash"
+)
+
+// Every examples/ program must keep working. The full examples run at
+// demonstration sizes (minutes of simulation); this table re-runs each
+// program's workload at tiny sizes — the embedded assembly sources are
+// extracted from the example files and re-scaled via their .equ knobs,
+// the library-driven examples call the same experiment entry points —
+// so a change that breaks an example breaks the build, on whichever
+// engine (instruction-level sim or direct-execution perf) the example
+// uses.
+
+// exampleSrc extracts the backquoted `const src` assembly from an
+// example's main.go.
+func exampleSrc(t *testing.T, dir string) string {
+	t.Helper()
+	data, err := os.ReadFile("examples/" + dir + "/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "const src = `"
+	i := strings.Index(string(data), marker)
+	if i < 0 {
+		t.Fatalf("examples/%s/main.go has no `const src` block", dir)
+	}
+	rest := string(data)[i+len(marker):]
+	j := strings.Index(rest, "`")
+	if j < 0 {
+		t.Fatalf("examples/%s/main.go: unterminated src literal", dir)
+	}
+	return rest[:j]
+}
+
+// patchEqu rewrites one `.equ name, value` line so the program runs at a
+// test-sized problem.
+func patchEqu(t *testing.T, src, name string, value int) string {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^(\s*\.equ\s+` + name + `,)\s*[^;\n]+`)
+	if !re.MatchString(src) {
+		t.Fatalf(".equ %s not found in example source", name)
+	}
+	return re.ReplaceAllString(src, fmt.Sprintf("${1} %d", value))
+}
+
+// runAsm assembles and runs a source on the instruction-level simulator,
+// returning the console output.
+func runAsm(t *testing.T, cfg cyclops.Config, src string, setup func(*cyclops.System)) string {
+	t.Helper()
+	prog, err := cyclops.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cyclops.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.MaxCycles(20_000_000)
+	if setup != nil {
+		setup(sys)
+	}
+	if err := sys.Boot(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return string(sys.Output())
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	cases := []struct {
+		dir    string
+		engine string
+		run    func(t *testing.T)
+	}{
+		{"quickstart", "sim", func(t *testing.T) {
+			// 4 workers summing 64 elements: total = 64*65/2.
+			src := exampleSrc(t, "quickstart")
+			src = patchEqu(t, src, "NW", 4)
+			src = patchEqu(t, src, "N", 64)
+			out := runAsm(t, cyclops.DefaultConfig(), src, nil)
+			if !strings.Contains(out, "2080") {
+				t.Errorf("quickstart output = %q, want the sum 2080", out)
+			}
+		}},
+		{"outofcore", "sim", func(t *testing.T) {
+			// 4 workers, 16 off-chip blocks in batches of 4; every word
+			// is 1 so the total counts the 16*1024/4 words processed.
+			src := exampleSrc(t, "outofcore")
+			src = patchEqu(t, src, "NW", 4)
+			src = patchEqu(t, src, "BATCH", 4)
+			src = patchEqu(t, src, "TOTALB", 16)
+			cfg := cyclops.DefaultConfig()
+			cfg.OffChipBytes = 16 << 10
+			out := runAsm(t, cfg, src, func(sys *cyclops.System) {
+				ones := make([]byte, 1024)
+				for i := 0; i < len(ones); i += 4 {
+					ones[i] = 1
+				}
+				if err := sys.Chip().Mem.Write(0x2000, ones); err != nil {
+					t.Fatal(err)
+				}
+				for blk := uint32(0); blk < 16; blk++ {
+					if _, err := sys.Chip().OffChip.WriteBlock(0, sys.Chip().Mem, 0x2000, blk*1024); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+			if !strings.Contains(out, "4096") {
+				t.Errorf("outofcore output = %q, want the word count 4096", out)
+			}
+		}},
+		{"stream", "sim", func(t *testing.T) {
+			r, err := experiments.RunStream(experiments.StreamParams{
+				Kernel: experiments.Triad, Threads: 4, N: 320, Local: true, Reps: 1,
+			}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.GBps() <= 0 {
+				t.Error("stream reported zero bandwidth")
+			}
+		}},
+		{"faulty", "sim", func(t *testing.T) {
+			sys, err := cyclops.NewSystem(cyclops.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			chip := sys.Chip()
+			if err := chip.Mem.FailBank(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := chip.DisableQuad(0); err != nil {
+				t.Fatal(err)
+			}
+			r, err := experiments.RunStreamOn(chip, experiments.StreamParams{
+				Kernel: experiments.Triad, Threads: 4, N: 320, Local: true, Reps: 1,
+			}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.GBps() <= 0 {
+				t.Error("degraded chip reported zero bandwidth")
+			}
+		}},
+		{"interestgroups", "perf", func(t *testing.T) {
+			for _, g := range []cyclops.InterestGroup{
+				{Mode: cyclops.GroupOwn},
+				{Mode: cyclops.GroupAll},
+			} {
+				m, err := cyclops.NewTimingMachine(cyclops.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				ea, err := m.Alloc(8*32, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Spawn(func(th *cyclops.Thread) {
+					v := th.LoadBlock(ea, 32, 8, 8)
+					th.StoreF64(ea, v)
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if m.Elapsed() == 0 {
+					t.Error("interest-group probe took zero cycles")
+				}
+			}
+		}},
+		{"fftbarrier", "perf", func(t *testing.T) {
+			for _, kind := range []splash.BarrierKind{experiments.SWBarrier, experiments.HWBarrier} {
+				r, err := experiments.RunFFT(experiments.FFTOpts{
+					Config: experiments.SplashConfig{Threads: 4, Barrier: kind},
+					N:      64,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Cycles == 0 {
+					t.Errorf("%v-barrier FFT took zero cycles", kind)
+				}
+			}
+		}},
+		{"mdsim", "perf", func(t *testing.T) {
+			r, state, err := experiments.RunMD(experiments.MDOpts{
+				Config:     experiments.SplashConfig{Threads: 2},
+				NParticles: 512, Steps: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cycles == 0 {
+				t.Error("MD took zero cycles")
+			}
+			if _, _, tot := experiments.MDEnergy(state); tot == 0 {
+				t.Error("MD energy is exactly zero; state looks unpopulated")
+			}
+		}},
+		{"raytrace", "perf", func(t *testing.T) {
+			r, img, err := experiments.RenderRay(experiments.RayOpts{
+				Config: experiments.SplashConfig{Threads: 4, Balanced: true},
+				Width:  16, Height: 8, Spheres: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cycles == 0 || len(img) != 16*8 {
+				t.Errorf("raytrace: %d cycles, %d pixels (want 128)", r.Cycles, len(img))
+			}
+		}},
+		{"multichip", "perf", func(t *testing.T) {
+			r, err := experiments.RunOcean(experiments.OceanOpts{
+				Config: experiments.SplashConfig{Threads: 4},
+				N:      16, Iters: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cycles == 0 {
+				t.Error("ocean step took zero cycles")
+			}
+			mesh, err := cyclops.NewMesh(cyclops.DefaultLinkConfig(), cyclops.MeshCoord{X: 2, Y: 2, Z: 2}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := mesh.Send(0, cyclops.MeshCoord{}, cyclops.MeshCoord{X: 1}, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done == 0 {
+				t.Error("halo send completed at cycle 0")
+			}
+		}},
+	}
+
+	// The table must cover every example directory, so adding an example
+	// without a smoke entry fails here.
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs, covered []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	for _, c := range cases {
+		covered = append(covered, c.dir)
+	}
+	sort.Strings(dirs)
+	sort.Strings(covered)
+	if strings.Join(dirs, " ") != strings.Join(covered, " ") {
+		t.Fatalf("smoke table covers %v but examples/ holds %v", covered, dirs)
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) { c.run(t) })
+	}
+}

@@ -42,6 +42,14 @@ type Program struct {
 	Entry uint32
 	// Symbols maps every defined label and .equ name to its value.
 	Symbols map[string]uint32
+	// File names the source for diagnostics and symbolized reports; the
+	// assembler leaves it empty and callers that know the path set it.
+	File string
+	// Lines is the address-sorted line table (see Locate); Labels the
+	// address-sorted code labels (see NearestLabel). Together they turn a
+	// program counter back into "label+0xoff (file:line)".
+	Lines  []Line
+	Labels []Label
 }
 
 // Word returns the 32-bit word at byte address addr, which must be inside
@@ -92,7 +100,9 @@ func Assemble(src string) (*Program, error) {
 	if e, ok := a.symbols["_start"]; ok {
 		entry = e
 	}
-	return &Program{Origin: a.origin, Bytes: a.image, Entry: entry, Symbols: a.symbols}, nil
+	p := &Program{Origin: a.origin, Bytes: a.image, Entry: entry, Symbols: a.symbols}
+	a.buildLineTable(p)
+	return p, nil
 }
 
 // stKind discriminates parsed statements.

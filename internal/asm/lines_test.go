@@ -1,0 +1,103 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+const lineTableSrc = `	.equ N, 4
+	.org 0x100
+_start:	la   r8, data		; 8 bytes
+	li   r9, N		; short li, 4 bytes
+loop:	ld   d16, 0(r8)
+	addi r8, r8, 8
+	addi r9, r9, -1
+	bne  r9, r0, loop
+	halt
+	.align 8
+data:	.double 1.0, 2.0
+`
+
+func TestLineTable(t *testing.T) {
+	p, err := Assemble(lineTableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lines must be sorted, non-overlapping, and inside the image.
+	var prevEnd uint32
+	for i, l := range p.Lines {
+		if l.Addr < prevEnd {
+			t.Fatalf("line %d at %#x overlaps previous end %#x", i, l.Addr, prevEnd)
+		}
+		if l.Addr+l.Size > p.Origin+uint32(len(p.Bytes)) {
+			t.Fatalf("line %d [%#x,%#x) outside image", i, l.Addr, l.Addr+l.Size)
+		}
+		prevEnd = l.Addr + l.Size
+	}
+
+	// _start covers the two-word la at 0x100.
+	if line, ok := p.Locate(0x104); !ok || line != 3 {
+		t.Errorf("Locate(0x104) = %d, %v; want line 3 (the la expansion)", line, ok)
+	}
+	// loop's first instruction: la (8) + li (4) => 0x10c.
+	if line, ok := p.Locate(0x10c); !ok || line != 5 {
+		t.Errorf("Locate(0x10c) = %d, %v; want line 5", line, ok)
+	}
+	if _, ok := p.Locate(0x0ff); ok {
+		t.Error("Locate before the image should fail")
+	}
+
+	name, off, ok := p.NearestLabel(0x110)
+	if !ok || name != "loop" || off != 4 {
+		t.Errorf("NearestLabel(0x110) = %q+%#x, %v; want loop+0x4", name, off, ok)
+	}
+	// .equ names must not appear as labels.
+	for _, l := range p.Labels {
+		if l.Name == "N" {
+			t.Error(".equ N leaked into the label table")
+		}
+	}
+
+	got := p.SymbolizePC(0x110)
+	if got != "loop+0x4 (?:6)" {
+		t.Errorf("SymbolizePC(0x110) = %q", got)
+	}
+	p.File = "stream.s"
+	if got := p.SymbolizePC(0x10c); got != "loop (stream.s:5)" {
+		t.Errorf("SymbolizePC(0x10c) = %q", got)
+	}
+}
+
+func TestListing(t *testing.T) {
+	p, err := Assemble(lineTableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Listing(p, lineTableSrc)
+	for _, want := range []string{"_start", "loop:", "000100", "  3  ", ".double"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// The la at 0x100 must show all 8 bytes of its expansion.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "000100") && len(strings.Fields(l)) > 1 {
+			if n := len(strings.Fields(l)[1]); n != 16 {
+				t.Errorf("la row shows %d hex chars, want 16: %s", n, l)
+			}
+		}
+	}
+}
+
+func TestLineTableDataAndSpace(t *testing.T) {
+	p, err := Assemble("\t.org 0x200\nbuf:\t.space 64\ntab:\t.word 1, 2, 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line, ok := p.Locate(0x220); !ok || line != 2 {
+		t.Errorf("Locate inside .space = %d, %v; want line 2", line, ok)
+	}
+	if name, off, ok := p.NearestLabel(0x240 + 4); !ok || name != "tab" || off != 4 {
+		t.Errorf("NearestLabel in .word = %q+%d, %v", name, off, ok)
+	}
+}

@@ -129,6 +129,7 @@ func Experiments() []Experiment {
 		{"fig7b", "HW vs SW barriers, 64K-point FFT", fig7Variant(65536)},
 		{"microbarrier", "Barrier latency microbenchmark", MicroBarrier},
 		{"breakdown", "Run/stall decomposition by stall reason (both engines)", Breakdown},
+		{"profile", "Guest profiler hot spots by symbol (both engines)", Profile},
 		{"apps", "Section 5 target applications (extension)", Apps},
 		{"fault", "Degraded-chip bandwidth (extension)", Fault},
 		{"mesh", "Multi-chip weak scaling (extension)", Mesh},

@@ -40,7 +40,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "microbarrier", "breakdown", "apps", "fault", "mesh"}
+	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "microbarrier", "breakdown", "profile", "apps", "fault", "mesh"}
 	if len(exps) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(want))
 	}

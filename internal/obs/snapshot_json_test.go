@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The snapshot fixture is obs_test.go's testSnapshot, which exercises
+// every field including the hand-ordered Breakdown and MemWaits
+// marshallers.
+
+// The snapshot's JSON form is part of the tool surface (-stats-json and
+// the sweep harness consume it); the golden file pins the exact bytes so
+// key order or formatting cannot drift silently.
+func TestSnapshotGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run SnapshotGolden -update ./internal/obs` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot JSON drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// Unmarshalling a snapshot and writing it back must reproduce the input
+// byte for byte: the stable key order makes the JSON form canonical, so
+// external tooling can rewrite snapshots without spurious diffs.
+func TestSnapshotRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Errorf("round trip not byte-identical:\n--- rewritten ---\n%s--- original ---\n%s", buf.Bytes(), data)
+	}
+	// The decoded struct matches the generator, so no field is dropped.
+	want := testSnapshot()
+	var got, wantBuf bytes.Buffer
+	s.WriteJSON(&got)
+	want.WriteJSON(&wantBuf)
+	if !bytes.Equal(got.Bytes(), wantBuf.Bytes()) {
+		t.Error("decoded snapshot differs from the generator")
+	}
+}

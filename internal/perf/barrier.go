@@ -25,7 +25,7 @@ func NewHWBarrier(n int) *HWBarrier { return &HWBarrier{n: n} }
 // speed").
 func (t *T) HWBarrier(b *HWBarrier) {
 	t.acquire()
-	t.Run++ // the atomic SPR write: clear current bit, set next bit
+	t.ChargeRun(1) // the atomic SPR write: clear current bit, set next bit
 	t.now++
 	enter := t.now
 	b.count++
@@ -37,7 +37,7 @@ func (t *T) HWBarrier(b *HWBarrier) {
 		t.block()
 		// The releasing thread advanced t.now to the release cycle;
 		// the interval was spent spinning on the SPR.
-		t.Run += t.now - enter
+		t.ChargeRun(t.now - enter)
 	} else {
 		// Last arrival: the OR's current bit drops one cycle later.
 		release := b.maxEnter + 1
@@ -45,7 +45,7 @@ func (t *T) HWBarrier(b *HWBarrier) {
 			p.now = release
 			t.wakes = append(t.wakes, event{at: release, t: p})
 		}
-		t.Run += release - enter
+		t.ChargeRun(release - enter)
 		t.now = release
 		b.count = 0
 		b.maxEnter = 0
@@ -125,7 +125,7 @@ func (t *T) spinFlag(ea uint32, flag *flagStamp, want uint32) {
 		issue := t.now
 		a := t.m.Chip.Data.Load(t.now, ea, 4, t.Quad)
 		t.ObserveAccess(a)
-		t.Run++
+		t.ChargeRun(1)
 		t.now++
 		seen := flag.phase >= want && flag.at <= issue
 		// The conditional branch consumes the loaded value. The wait is

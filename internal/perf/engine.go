@@ -34,6 +34,7 @@ import (
 	"cyclops/internal/arch"
 	"cyclops/internal/core"
 	"cyclops/internal/obs"
+	"cyclops/internal/prof"
 )
 
 // Machine owns the engine and the chip being timed.
@@ -54,6 +55,15 @@ type Machine struct {
 	// Balanced selects the balanced thread-placement policy (deal
 	// spawned threads across quads) instead of sequential quad filling.
 	Balanced bool
+
+	// Prof and TL are the attached guest profiler and telemetry
+	// timeline (see AttachProfile / AttachTimeline); nil means off.
+	// The direct-execution engine has no instruction stream, so
+	// profiler "PCs" are synthetic region ids from Regions, annotated
+	// by kernels via T.Region.
+	Prof    *prof.Profile
+	Regions *prof.RegionTable
+	TL      *prof.Timeline
 
 	nextTid int
 }
@@ -139,8 +149,61 @@ func (m *Machine) Spawn(fn func(t *T)) (*T, error) {
 		fn:     fn,
 		resume: make(chan struct{}),
 	}
+	if obs.Enabled && m.Prof != nil {
+		t.Samp = m.Prof.Sampler(tid)
+	}
 	m.threads = append(m.threads, t)
 	return t, nil
+}
+
+// AttachProfile wires a guest profiler: every thread's ledger forwards
+// its charges to a per-unit sampler, and Regions provides the synthetic
+// PC space for T.Region annotations. Call before Run (threads spawned
+// earlier are wired retroactively); a no-op under cyclops_noobs.
+func (m *Machine) AttachProfile(p *prof.Profile) {
+	if !obs.Enabled {
+		return
+	}
+	m.Prof = p
+	if m.Regions == nil {
+		m.Regions = prof.NewRegionTable()
+	}
+	for _, t := range m.threads {
+		t.Samp = p.Sampler(t.ID)
+	}
+}
+
+// AttachTimeline wires an interval telemetry timeline sampled on the
+// engine's virtual clock. Call before Run; a no-op under cyclops_noobs.
+func (m *Machine) AttachTimeline(t *prof.Timeline) {
+	if !obs.Enabled {
+		return
+	}
+	m.TL = t
+}
+
+// counters gathers the chip-wide telemetry the timeline samples. Only
+// called from the engine loop while every thread is parked, so the
+// ledger reads are race-free.
+func (m *Machine) counters() prof.Counters {
+	var c prof.Counters
+	for _, t := range m.threads {
+		c.Run += t.Run
+		c.Stall += t.Stall
+		c.Stalls.AddAll(t.Stalls)
+		c.MemWaits.AddAll(t.MemWaits)
+	}
+	for _, r := range m.Chip.ResourceStats() {
+		switch r.Kind {
+		case "cacheport":
+			c.PortBusy += r.Busy
+		case "drambank":
+			c.BankBusy += r.Busy
+		case "fpu":
+			c.FPUBusy += r.Busy
+		}
+	}
+	return c
 }
 
 // SpawnN spawns n threads running fn(t, index); index runs 0..n-1.
@@ -246,6 +309,9 @@ func (m *Machine) Run() error {
 			return fmt.Errorf("perf: deadlock: %d threads blocked on synchronisation", live)
 		}
 		ev := heap.Pop(&m.pq).(event)
+		if m.TL != nil && m.TL.Due(ev.at) {
+			m.TL.Tick(ev.at, m.counters())
+		}
 		ev.t.resume <- struct{}{}
 		mg := <-m.msgs
 		for _, w := range mg.wakes {
@@ -259,6 +325,9 @@ func (m *Machine) Run() error {
 		case msgBlock:
 			// Parked: a peer's wakes will requeue it.
 		}
+	}
+	if m.TL != nil {
+		m.TL.Finish(m.Elapsed(), m.counters())
 	}
 	return nil
 }

@@ -39,6 +39,29 @@ func (v Val) Ready() uint64 { return v.ready }
 // Now returns the thread's virtual clock.
 func (t *T) Now() uint64 { return t.now }
 
+// Region opens a named profiling region and returns its closer:
+//
+//	defer t.Region("fft_rows")()
+//
+// Regions are the direct-execution engine's substitute for program
+// counters: while one is open, every cycle the thread charges samples
+// to the region's synthetic PC, and nesting builds the same two-level
+// folded stacks the simulator derives from jal/return flow. Without an
+// attached profiler (or under cyclops_noobs) the cost is one nil check.
+func (t *T) Region(name string) func() {
+	if !obs.Enabled || t.Samp == nil {
+		return func() {}
+	}
+	id := t.m.Regions.Intern(name)
+	prev := t.Samp.PC()
+	t.Samp.Call(id)
+	t.Samp.SetPC(id)
+	return func() {
+		t.Samp.Ret()
+		t.Samp.SetPC(prev)
+	}
+}
+
 // settleStore books one store's wait attribution and, when the write
 // buffer backpressured, advances the clock past the blockage; the
 // port/bank split is the ledger's shared rule (timing.ChargeMemStall).
@@ -96,7 +119,7 @@ func (t *T) load(ea uint32, size int) Val {
 	t.acquire()
 	a := t.m.Chip.Data.Load(t.now, ea, size, t.Quad)
 	t.ObserveAccess(a)
-	t.Run++
+	t.ChargeRun(1)
 	t.now++
 	return Val{ready: a.Done}
 }
@@ -112,7 +135,7 @@ func (t *T) store(ea uint32, size int, deps ...Val) {
 	t.waitVals(deps...)
 	t.acquire()
 	a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
-	t.Run++
+	t.ChargeRun(1)
 	t.now++
 	// Write-buffer backpressure.
 	t.settleStore(a)
@@ -130,7 +153,7 @@ func (t *T) Atomic(ea uint32) Val {
 	t.acquire()
 	a := t.m.Chip.Data.Atomic(t.now, ea, 4, t.Quad)
 	t.ObserveAccess(a)
-	t.Run++
+	t.ChargeRun(1)
 	t.now++
 	return Val{ready: a.Done}
 }
@@ -155,7 +178,7 @@ func (t *T) LoadBlock(ea uint32, n, size, stride int) Val {
 		for k := 0; k < c; k++ {
 			a := t.m.Chip.Data.Load(t.now, ea+uint32((i+k)*stride), size, t.Quad)
 			t.ObserveAccess(a)
-			t.Run++
+			t.ChargeRun(1)
 			t.now++
 			if a.Done > last.ready {
 				last = Val{ready: a.Done}
@@ -177,7 +200,7 @@ func (t *T) StoreBlock(ea uint32, n, size, stride int, deps ...Val) {
 		t.acquire()
 		for k := 0; k < c; k++ {
 			a := t.m.Chip.Data.Store(t.now, ea+uint32((i+k)*stride), size, t.Quad)
-			t.Run++
+			t.ChargeRun(1)
 			t.now++
 			t.settleStore(a)
 		}
@@ -197,7 +220,7 @@ func (t *T) LoadGather(eas []uint32, size int) Val {
 		for _, ea := range eas[i : i+c] {
 			a := t.m.Chip.Data.Load(t.now, ea, size, t.Quad)
 			t.ObserveAccess(a)
-			t.Run++
+			t.ChargeRun(1)
 			t.now++
 			if a.Done > last.ready {
 				last = Val{ready: a.Done}
@@ -219,7 +242,7 @@ func (t *T) StoreScatter(eas []uint32, size int, deps ...Val) {
 		t.acquire()
 		for _, ea := range eas[i : i+c] {
 			a := t.m.Chip.Data.Store(t.now, ea, size, t.Quad)
-			t.Run++
+			t.ChargeRun(1)
 			t.now++
 			t.settleStore(a)
 		}
@@ -238,7 +261,7 @@ func (t *T) fp(pipe isa.FPUPipe, exec, extra int, ops ...Val) Val {
 		t.Charge(obs.FPUStall, start-t.now)
 		t.now = start
 	}
-	t.Run++
+	t.ChargeRun(1)
 	t.now++
 	return Val{ready: start + uint64(exec+extra)}
 }
@@ -301,7 +324,7 @@ func (t *T) FPBlock(pipe isa.FPUPipe, n int, ops ...Val) Val {
 				t.Charge(obs.FPUStall, start-t.now)
 				t.now = start
 			}
-			t.Run++
+			t.ChargeRun(1)
 			t.now++
 			last = Val{ready: start + uint64(exec+extra)}
 		}

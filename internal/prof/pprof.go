@@ -1,0 +1,241 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof writes the profile as a gzipped pprof protobuf, the input
+// format of `go tool pprof` (-top, -flamegraph, -raw ...). The encoding
+// is hand-rolled — the profile.proto schema is small and stable, and
+// depending on a protobuf library for one writer is not worth it. One
+// sample type ("cycles") is emitted; the charge kind and thread unit
+// ride along as sample labels, so pprof's -tagfocus/-tagshow can slice
+// by stall reason or TU. Output is deterministic: samples, locations,
+// functions and the string table are all built in sorted order.
+//
+// If sym also implements Locate(pc) (line int, ok bool) and
+// SourceFile() string — as *asm.Program does — locations carry source
+// line numbers and functions a file name.
+func (p *Profile) WritePprof(w io.Writer, sym Symbolizer) error {
+	if sym == nil {
+		sym = HexSymbols
+	}
+	locator, _ := sym.(interface{ Locate(uint32) (int, bool) })
+	filer, _ := sym.(interface{ SourceFile() string })
+	file := ""
+	if filer != nil {
+		file = filer.SourceFile()
+	}
+
+	var e pprofEnc
+	e.str("") // index 0 is always the empty string
+
+	samples := p.merged()
+
+	// Locations: one per distinct PC (leaf or caller), plus a pseudo
+	// location for NoPC leaves. IDs are dense from 1 in ascending PC
+	// order; the NoPC pseudo location, when needed, comes last.
+	locID := map[uint32]uint64{}
+	var pcs []uint32
+	needRoot := false
+	addPC := func(pc uint32) {
+		if pc == NoPC {
+			needRoot = true
+			return
+		}
+		if _, ok := locID[pc]; !ok {
+			locID[pc] = 0 // placeholder; assigned after sorting
+			pcs = append(pcs, pc)
+		}
+	}
+	for _, s := range samples {
+		addPC(s.PC)
+		if s.Fn != NoPC {
+			addPC(s.Fn)
+		}
+	}
+	sortU32(pcs)
+	for i, pc := range pcs {
+		locID[pc] = uint64(i + 1)
+	}
+	rootLoc := uint64(0)
+	if needRoot {
+		rootLoc = uint64(len(pcs) + 1)
+	}
+
+	// Functions: one per distinct enclosing-function name, in the order
+	// the sorted locations first reference them.
+	funcID := map[string]uint64{}
+	var funcs []string
+	fnOf := func(name string) uint64 {
+		if id, ok := funcID[name]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcID[name] = id
+		funcs = append(funcs, name)
+		return id
+	}
+
+	// Message: sample_type {cycles, cycles}.
+	e.msg(1, func(e *pprofEnc) {
+		e.varint(1, uint64(e.str("cycles")))
+		e.varint(2, uint64(e.str("cycles")))
+	})
+	// Samples.
+	keyKind := e.str("kind")
+	keyTU := e.str("tu")
+	for _, s := range samples {
+		s := s
+		e.msg(2, func(e *pprofEnc) {
+			var ids []uint64
+			if s.PC == NoPC {
+				ids = append(ids, rootLoc)
+			} else {
+				ids = append(ids, locID[s.PC])
+			}
+			if s.Fn != NoPC {
+				ids = append(ids, locID[s.Fn])
+			}
+			e.packed(1, ids)
+			e.packed(2, []uint64{s.Count * p.Interval})
+			kindStr := e.str(s.Kind.String())
+			e.msg(3, func(e *pprofEnc) {
+				e.varint(1, uint64(keyKind))
+				e.varint(2, uint64(kindStr))
+			})
+			e.msg(3, func(e *pprofEnc) {
+				e.varint(1, uint64(keyTU))
+				e.varint(3, uint64(s.TU))
+			})
+		})
+	}
+	// Locations with one line each.
+	for _, pc := range pcs {
+		pc := pc
+		e.msg(4, func(e *pprofEnc) {
+			e.varint(1, locID[pc])
+			e.varint(3, uint64(pc))
+			e.msg(4, func(e *pprofEnc) {
+				e.varint(1, fnOf(sym.FuncName(pc)))
+				if locator != nil {
+					if line, ok := locator.Locate(pc); ok {
+						e.varint(2, uint64(line))
+					}
+				}
+			})
+		})
+	}
+	if needRoot {
+		e.msg(4, func(e *pprofEnc) {
+			e.varint(1, rootLoc)
+			e.msg(4, func(e *pprofEnc) { e.varint(1, fnOf(rootName)) })
+		})
+	}
+	// Functions.
+	fileStr := e.str(file)
+	for i, name := range funcs {
+		i, name := i, name
+		e.msg(5, func(e *pprofEnc) {
+			e.varint(1, uint64(i+1))
+			e.varint(2, uint64(e.str(name)))
+			e.varint(4, uint64(fileStr))
+		})
+	}
+	// Period: one sample stands for Interval cycles.
+	e.msg(11, func(e *pprofEnc) {
+		e.varint(1, uint64(e.str("cycles")))
+		e.varint(2, uint64(e.str("cycles")))
+	})
+	e.varint(12, p.Interval)
+	// String table last (field 6): it was interned during encoding.
+	var out pprofEnc
+	out.buf = append(out.buf, e.buf...)
+	for _, s := range e.strs {
+		out.bytes(6, []byte(s))
+	}
+
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(out.buf); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// pprofEnc is a minimal deterministic protobuf encoder with a string
+// interner for the pprof string table.
+type pprofEnc struct {
+	buf  []byte
+	strs []string
+	sidx map[string]int64
+}
+
+// str interns s and returns its string-table index.
+func (e *pprofEnc) str(s string) int64 {
+	if e.sidx == nil {
+		e.sidx = make(map[string]int64)
+	}
+	if i, ok := e.sidx[s]; ok {
+		return i
+	}
+	i := int64(len(e.strs))
+	e.strs = append(e.strs, s)
+	e.sidx[s] = i
+	return i
+}
+
+func (e *pprofEnc) raw(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+func (e *pprofEnc) tag(field, wire int) { e.raw(uint64(field)<<3 | uint64(wire)) }
+
+// varint emits a varint-typed field; zero values are omitted (proto3).
+func (e *pprofEnc) varint(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, 0)
+	e.raw(v)
+}
+
+// bytes emits a length-delimited field (always, even when empty, so the
+// string table keeps its indices).
+func (e *pprofEnc) bytes(field int, b []byte) {
+	e.tag(field, 2)
+	e.raw(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// packed emits a packed repeated varint field.
+func (e *pprofEnc) packed(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var p pprofEnc
+	for _, v := range vs {
+		p.raw(v)
+	}
+	e.bytes(field, p.buf)
+}
+
+// msg emits an embedded message built by fn, sharing the interner.
+func (e *pprofEnc) msg(field int, fn func(*pprofEnc)) {
+	sub := pprofEnc{strs: e.strs, sidx: e.sidx}
+	fn(&sub)
+	e.strs, e.sidx = sub.strs, sub.sidx
+	e.bytes(field, sub.buf)
+}
+
+func sortU32(v []uint32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

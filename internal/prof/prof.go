@@ -1,0 +1,231 @@
+// Package prof is the guest-level profiler: a deterministic cycle-count
+// sampler over the timing ledger, symbolized hot-spot reports, gzipped
+// pprof protobuf output, and an interval telemetry timeline.
+//
+// Sampling is driven by simulated cycles, never wall clock: each thread
+// unit owns a TSampler whose cycle accumulator advances with every
+// ledger charge, and a sample fires each time the accumulator crosses a
+// multiple of the sampling interval E (the first at E). A sample records
+// the thread's current program counter, its caller context from a shadow
+// call stack maintained on jal/return flow, and the charge's kind — run,
+// or one of the obs.StallReason buckets — so every sampled cycle is
+// attributed the same way the ledger attributes it. Because the sampler
+// is a pure function of the charge stream and each TSampler owns its own
+// buckets (merged only at report time), profiles are byte-identical for
+// any sweep worker count, and with E=1 the per-thread sample count
+// equals the thread's run+stall cycle total exactly.
+package prof
+
+import (
+	"sort"
+
+	"cyclops/internal/obs"
+)
+
+// NoPC is the sentinel program counter meaning "none": the caller
+// context before any call, and the PC of engines that execute native
+// code (internal/perf) outside any annotated region.
+const NoPC = ^uint32(0)
+
+// Kind is what a sampled cycle was charged as: run, or one of the
+// stall reasons, in the obs enum order shifted by one.
+type Kind uint8
+
+// KindRun marks issued work; StallKind(r) marks a stall charged to r.
+const KindRun Kind = 0
+
+// NumKinds bounds the enum: run plus every stall reason.
+const NumKinds = 1 + int(obs.NumStallReasons)
+
+// StallKind maps a ledger stall reason to its sample kind.
+func StallKind(r obs.StallReason) Kind { return Kind(1 + r) }
+
+func (k Kind) String() string {
+	if k == KindRun {
+		return "run"
+	}
+	return obs.StallReason(k - 1).String()
+}
+
+// KindNames returns the kind taxonomy in column order (run first).
+func KindNames() []string {
+	names := make([]string, NumKinds)
+	for k := Kind(0); k < Kind(NumKinds); k++ {
+		names[k] = k.String()
+	}
+	return names
+}
+
+// site is one sample bucket key: an exact PC, its caller context, and
+// what the cycle was charged as.
+type site struct {
+	PC, Fn uint32
+	Kind   Kind
+}
+
+// TSampler is one thread unit's sampler. The engine keeps its PC
+// current, maintains the shadow call stack via Call/Ret, and the
+// embedding ledger forwards every charge; everything else is internal.
+// A TSampler is used only from its thread's execution context and
+// shares nothing mutable, so concurrent threads never contend.
+type TSampler struct {
+	prof *Profile
+	tu   int
+
+	pc      uint32
+	fn      uint32   // current caller context (function entry PC)
+	stack   []uint32 // shadow call stack of outer contexts
+	cum     uint64   // cycles charged so far
+	nextAt  uint64   // next sampling threshold (multiple of interval)
+	samples uint64
+	buckets map[site]uint64
+}
+
+// SetPC publishes the thread's current program counter; samples fired
+// by subsequent charges attribute to it.
+func (s *TSampler) SetPC(pc uint32) { s.pc = pc }
+
+// PC returns the last published program counter (NoPC before the
+// first SetPC); region annotations use it to restore the outer
+// context on close.
+func (s *TSampler) PC() uint32 { return s.pc }
+
+// Call pushes the current context and enters the function at entry
+// (a jal/jalr with a live link register, or a perf region open).
+func (s *TSampler) Call(entry uint32) {
+	s.stack = append(s.stack, s.fn)
+	s.fn = entry
+}
+
+// Ret pops back to the caller context (a jalr through the link
+// register, or a perf region close). Underflow is tolerated: returns
+// past the tracked depth reset the context to NoPC.
+func (s *TSampler) Ret() {
+	if n := len(s.stack); n > 0 {
+		s.fn = s.stack[n-1]
+		s.stack = s.stack[:n-1]
+	} else {
+		s.fn = NoPC
+	}
+}
+
+// Depth reports the shadow call stack depth (for tests).
+func (s *TSampler) Depth() int { return len(s.stack) }
+
+// Charge advances the sampler by n cycles attributed as k, firing one
+// sample per interval boundary crossed.
+func (s *TSampler) Charge(k Kind, n uint64) {
+	s.cum += n
+	for s.cum >= s.nextAt {
+		s.buckets[site{PC: s.pc, Fn: s.fn, Kind: k}]++
+		s.samples++
+		s.nextAt += s.prof.Interval
+	}
+}
+
+// Samples reports how many samples this thread has taken: exactly
+// floor(charged cycles / interval), which with interval 1 equals the
+// thread's run+stall total.
+func (s *TSampler) Samples() uint64 { return s.samples }
+
+// Cycles reports the total cycles charged through this sampler.
+func (s *TSampler) Cycles() uint64 { return s.cum }
+
+// Profile collects the samplers of one run. Create one per machine,
+// attach it before Run, and read reports after.
+type Profile struct {
+	// Interval is the sampling period E in cycles; each sample stands
+	// for E cycles of its kind.
+	Interval uint64
+
+	samplers []*TSampler
+}
+
+// New returns a Profile sampling every interval cycles. interval must
+// be at least 1.
+func New(interval uint64) *Profile {
+	if interval == 0 {
+		interval = 1
+	}
+	return &Profile{Interval: interval}
+}
+
+// Sampler returns thread unit tu's sampler, creating it on first use.
+// Engines call this once per thread at attach/spawn time, before the
+// thread runs.
+func (p *Profile) Sampler(tu int) *TSampler {
+	for len(p.samplers) <= tu {
+		p.samplers = append(p.samplers, nil)
+	}
+	if p.samplers[tu] == nil {
+		p.samplers[tu] = &TSampler{
+			prof:    p,
+			tu:      tu,
+			pc:      NoPC,
+			fn:      NoPC,
+			nextAt:  p.Interval,
+			buckets: make(map[site]uint64),
+		}
+	}
+	return p.samplers[tu]
+}
+
+// SamplesByTU returns each thread unit's sample count, indexed by TU id
+// (zero for units that never sampled).
+func (p *Profile) SamplesByTU() []uint64 {
+	out := make([]uint64, len(p.samplers))
+	for i, s := range p.samplers {
+		if s != nil {
+			out[i] = s.samples
+		}
+	}
+	return out
+}
+
+// TotalSamples sums every thread's sample count.
+func (p *Profile) TotalSamples() uint64 {
+	var t uint64
+	for _, s := range p.samplers {
+		if s != nil {
+			t += s.samples
+		}
+	}
+	return t
+}
+
+// sample is one merged bucket: a site, its owning thread unit, and the
+// sample count. The slice form is the deterministic iteration order
+// every exporter shares.
+type sample struct {
+	site
+	TU    int
+	Count uint64
+}
+
+// merged flattens every sampler's buckets into a deterministically
+// ordered slice: by TU, then PC, then caller, then kind.
+func (p *Profile) merged() []sample {
+	var out []sample
+	for tu, s := range p.samplers {
+		if s == nil {
+			continue
+		}
+		for k, n := range s.buckets {
+			out = append(out, sample{site: k, TU: tu, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TU != b.TU {
+			return a.TU < b.TU
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}

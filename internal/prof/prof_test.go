@@ -1,0 +1,251 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"cyclops/internal/obs"
+)
+
+func TestSamplerIntervalSemantics(t *testing.T) {
+	p := New(10)
+	s := p.Sampler(0)
+	s.SetPC(0x100)
+	s.Charge(KindRun, 9) // cum 9 < 10: no sample
+	if s.Samples() != 0 {
+		t.Fatalf("samples after 9 cycles = %d, want 0", s.Samples())
+	}
+	s.Charge(KindRun, 1) // cum 10: first sample
+	if s.Samples() != 1 {
+		t.Fatalf("samples after 10 cycles = %d, want 1", s.Samples())
+	}
+	s.Charge(StallKind(obs.DepStall), 25) // cum 35: samples at 20, 30
+	if s.Samples() != 3 {
+		t.Fatalf("samples after 35 cycles = %d, want 3", s.Samples())
+	}
+	// floor(total/E) invariant.
+	if want := s.Cycles() / p.Interval; s.Samples() != want {
+		t.Fatalf("samples = %d, want floor(%d/%d) = %d", s.Samples(), s.Cycles(), p.Interval, want)
+	}
+}
+
+func TestSamplerExactReconciliationAtE1(t *testing.T) {
+	p := New(1)
+	s := p.Sampler(3)
+	s.SetPC(0x200)
+	s.Charge(KindRun, 7)
+	s.Charge(StallKind(obs.FPUStall), 4)
+	s.Charge(StallKind(obs.DepStall), 2)
+	if s.Samples() != 13 {
+		t.Fatalf("E=1 samples = %d, want 13 (== charged cycles)", s.Samples())
+	}
+	rep := p.Report(nil)
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rep.Rows))
+	}
+	r := rep.Rows[0]
+	if r.Cycles != 13 || r.Kinds[KindRun] != 7 || r.Kinds[StallKind(obs.FPUStall)] != 4 {
+		t.Fatalf("row = %+v", r)
+	}
+	if got := p.SamplesByTU(); len(got) != 4 || got[3] != 13 {
+		t.Fatalf("SamplesByTU = %v", got)
+	}
+}
+
+func TestShadowStack(t *testing.T) {
+	p := New(1)
+	s := p.Sampler(0)
+	s.SetPC(0x10)
+	s.Charge(KindRun, 1) // fn = NoPC
+	s.Call(0x100)
+	s.SetPC(0x104)
+	s.Charge(KindRun, 1) // fn = 0x100
+	s.Call(0x200)
+	s.SetPC(0x204)
+	if s.Depth() != 2 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+	s.Charge(KindRun, 1) // fn = 0x200
+	s.Ret()
+	s.SetPC(0x108)
+	s.Charge(KindRun, 1) // fn = 0x100 again
+	s.Ret()
+	s.Ret() // underflow: tolerated, context resets
+	s.SetPC(0x14)
+	s.Charge(KindRun, 1)
+
+	var sb strings.Builder
+	if err := p.WriteFolded(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	folded := sb.String()
+	for _, want := range []string{
+		"0x100;0x104 [run] 1",
+		"0x200;0x204 [run] 1",
+		"0x100;0x108 [run] 1",
+		"0x10 [run] 1",
+	} {
+		if !strings.Contains(folded, want) {
+			t.Errorf("folded output missing %q:\n%s", want, folded)
+		}
+	}
+}
+
+func TestReportOrderingAndTopK(t *testing.T) {
+	p := New(1)
+	s := p.Sampler(0)
+	s.SetPC(0x100)
+	s.Charge(KindRun, 5)
+	s.SetPC(0x200)
+	s.Charge(StallKind(obs.BankConflictStall), 9)
+	s.SetPC(0x300)
+	s.Charge(KindRun, 2)
+	rep := p.Report(nil)
+	if len(rep.Rows) != 3 || rep.Rows[0].Cycles != 9 || rep.Rows[2].Cycles != 2 {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+	if top := rep.Top(2); len(top) != 2 || top[0].Name != "0x200" {
+		t.Fatalf("top-2 = %+v", top)
+	}
+	var sb strings.Builder
+	if err := rep.WriteText(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "bankconflict") || !strings.Contains(out, "0x200") {
+		t.Fatalf("text report:\n%s", out)
+	}
+}
+
+func TestRegionTable(t *testing.T) {
+	rt := NewRegionTable()
+	a := rt.Intern("fft_rows")
+	b := rt.Intern("transpose")
+	if a2 := rt.Intern("fft_rows"); a2 != a {
+		t.Fatalf("re-intern moved id: %d vs %d", a2, a)
+	}
+	if rt.FuncName(b) != "transpose" || rt.SymbolizePC(a) != "fft_rows" {
+		t.Fatal("region names wrong")
+	}
+	if got := rt.FuncName(99); got != "region#99" {
+		t.Fatalf("unknown region = %q", got)
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	build := func() *Profile {
+		p := New(2)
+		for tu := 0; tu < 4; tu++ {
+			s := p.Sampler(tu)
+			for i := 0; i < 50; i++ {
+				s.SetPC(uint32(0x100 + 4*(i%7)))
+				s.Charge(Kind(i%NumKinds), uint64(1+i%3))
+			}
+		}
+		return p
+	}
+	p1, p2 := build(), build()
+	var f1, f2, pb1, pb2 bytes.Buffer
+	if err := p1.WriteFolded(&f1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.WriteFolded(&f2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1.Bytes(), f2.Bytes()) {
+		t.Error("folded output not deterministic")
+	}
+	if err := p1.WritePprof(&pb1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.WritePprof(&pb2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb1.Bytes(), pb2.Bytes()) {
+		t.Error("pprof output not deterministic")
+	}
+}
+
+// TestPprofToolReadsProfile shells out to `go tool pprof -top`; skipped
+// when the go tool is unavailable.
+func TestPprofToolReadsProfile(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	p := New(1)
+	s := p.Sampler(0)
+	s.Call(0x100)
+	s.SetPC(0x104)
+	s.Charge(KindRun, 90)
+	s.SetPC(0x108)
+	s.Charge(StallKind(obs.DepStall), 10)
+	f := t.TempDir() + "/prof.pb.gz"
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("go", "tool", "pprof", "-top", "-nodecount=5", f).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0x104") {
+		t.Errorf("pprof -top missing hot symbol:\n%s", out)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(100)
+	if tl.Due(99) {
+		t.Fatal("due before first boundary")
+	}
+	c := Counters{Run: 80, Stall: 20}
+	c.Stalls[obs.DepStall] = 20
+	tl.Tick(100, c)
+	// Clock jumps over several boundaries: one row at the last one.
+	c2 := Counters{Run: 300, Stall: 50, FPUBusy: 7}
+	c2.Stalls[obs.DepStall] = 50
+	tl.Tick(350, c2)
+	// No change: row elided.
+	tl.Tick(450, c2)
+	c3 := c2
+	c3.Run += 5
+	tl.Finish(512, c3)
+	rows := tl.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3: %+v", len(rows), rows)
+	}
+	if rows[0].Cycle != 100 || rows[1].Cycle != 300 || rows[2].Cycle != 512 {
+		t.Fatalf("cycles = %d,%d,%d", rows[0].Cycle, rows[1].Cycle, rows[2].Cycle)
+	}
+	if rows[1].Run != 220 || rows[1].FPUBusy != 7 {
+		t.Fatalf("jump delta = %+v", rows[1].Counters)
+	}
+	if sum := tl.Sum(); sum != c3 {
+		t.Fatalf("telescoped sum %+v != final %+v", sum, c3)
+	}
+
+	var csv, js bytes.Buffer
+	if err := tl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "cycle,run,stall,dep,") {
+		t.Fatalf("csv header: %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 4 {
+		t.Fatalf("csv lines = %d, want 4", lines)
+	}
+	if err := tl.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"cycle": 512`) {
+		t.Fatalf("json missing final row:\n%s", js.String())
+	}
+	if tracks := tl.CounterTracks(); len(tracks) != 9 {
+		t.Fatalf("counter tracks = %d, want 9", len(tracks))
+	}
+}

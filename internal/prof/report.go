@@ -1,0 +1,197 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Symbolizer turns program counters back into names. asm.Program
+// implements it via the assembler's line table; the direct-execution
+// engine implements it with a region-name table over synthetic PCs.
+type Symbolizer interface {
+	// SymbolizePC renders an exact program counter, e.g.
+	// "stream_triad+0x18 (stream.s:142)".
+	SymbolizePC(pc uint32) string
+	// FuncName names the enclosing function (nearest label / region)
+	// of pc, e.g. "stream_triad".
+	FuncName(pc uint32) string
+}
+
+// hexSymbols is the fallback Symbolizer when no program is available
+// (e.g. a raw .cyc image with no line table): every PC is hex.
+type hexSymbols struct{}
+
+func (hexSymbols) SymbolizePC(pc uint32) string { return fmt.Sprintf("%#x", pc) }
+func (hexSymbols) FuncName(pc uint32) string    { return fmt.Sprintf("%#x", pc) }
+
+// HexSymbols symbolizes every PC as a raw hex address.
+var HexSymbols Symbolizer = hexSymbols{}
+
+// RegionTable is the Symbolizer for engines without an instruction
+// stream: names are interned to stable synthetic PCs in registration
+// order, and symbolization is the name itself.
+type RegionTable struct {
+	names []string
+	ids   map[string]uint32
+}
+
+// NewRegionTable returns an empty region table.
+func NewRegionTable() *RegionTable {
+	return &RegionTable{ids: make(map[string]uint32)}
+}
+
+// Intern returns the stable synthetic PC for name, allocating one on
+// first use. IDs are dense from 0 in first-intern order, so a program
+// that registers regions deterministically gets deterministic PCs.
+func (t *RegionTable) Intern(name string) uint32 {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = id
+	return id
+}
+
+func (t *RegionTable) name(pc uint32) string {
+	if int(pc) < len(t.names) {
+		return t.names[pc]
+	}
+	return fmt.Sprintf("region#%d", pc)
+}
+
+func (t *RegionTable) SymbolizePC(pc uint32) string { return t.name(pc) }
+func (t *RegionTable) FuncName(pc uint32) string    { return t.name(pc) }
+
+// rootName labels samples taken outside any call/region context.
+const rootName = "(root)"
+
+// Row is one symbol's line in a Report: total attributed cycles and the
+// per-kind split, all in cycles (samples × interval).
+type Row struct {
+	// Name is the symbol (nearest label or region name).
+	Name string
+	// Cycles is the symbol's total attributed cycles.
+	Cycles uint64
+	// Samples is the raw sample count behind Cycles.
+	Samples uint64
+	// Kinds splits Cycles by charge kind (run first, then the stall
+	// reasons in obs enum order).
+	Kinds [NumKinds]uint64
+}
+
+// Report is a symbol-level aggregation of a Profile: one row per
+// enclosing function, hottest first.
+type Report struct {
+	// Interval is the sampling period the counts were taken at.
+	Interval uint64
+	// Rows is sorted by Cycles descending, ties by name.
+	Rows []Row
+}
+
+// Report aggregates the profile by enclosing function using sym.
+func (p *Profile) Report(sym Symbolizer) *Report {
+	if sym == nil {
+		sym = HexSymbols
+	}
+	agg := make(map[string]*Row)
+	order := []string{}
+	for _, s := range p.merged() {
+		name := rootName
+		if s.PC != NoPC {
+			name = sym.FuncName(s.PC)
+		}
+		r := agg[name]
+		if r == nil {
+			r = &Row{Name: name}
+			agg[name] = r
+			order = append(order, name)
+		}
+		r.Samples += s.Count
+		r.Cycles += s.Count * p.Interval
+		r.Kinds[s.Kind] += s.Count * p.Interval
+	}
+	rep := &Report{Interval: p.Interval}
+	for _, name := range order {
+		rep.Rows = append(rep.Rows, *agg[name])
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Cycles != rep.Rows[j].Cycles {
+			return rep.Rows[i].Cycles > rep.Rows[j].Cycles
+		}
+		return rep.Rows[i].Name < rep.Rows[j].Name
+	})
+	return rep
+}
+
+// Top returns the first k rows (all rows if k <= 0 or past the end).
+func (r *Report) Top(k int) []Row {
+	if k <= 0 || k > len(r.Rows) {
+		k = len(r.Rows)
+	}
+	return r.Rows[:k]
+}
+
+// WriteText renders the report as an aligned table: symbol, cycles,
+// share, then one column per kind. k limits the rows as in Top.
+func (r *Report) WriteText(w io.Writer, k int) error {
+	rows := r.Top(k)
+	var total uint64
+	for _, row := range r.Rows {
+		total += row.Cycles
+	}
+	names := KindNames()
+	fmt.Fprintf(w, "%-28s %12s %6s", "symbol", "cycles", "%")
+	for _, n := range names {
+		fmt.Fprintf(w, " %12s", n)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(row.Cycles) / float64(total)
+		}
+		fmt.Fprintf(w, "%-28s %12d %5.1f%%", row.Name, row.Cycles, pct)
+		for k := 0; k < NumKinds; k++ {
+			fmt.Fprintf(w, " %12d", row.Kinds[k])
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFolded writes the profile in collapsed-stack ("folded") format —
+// "caller;pc-symbol count" per line, cycle-weighted, sorted — the input
+// format of flame-graph tools.
+func (p *Profile) WriteFolded(w io.Writer, sym Symbolizer) error {
+	if sym == nil {
+		sym = HexSymbols
+	}
+	agg := make(map[string]uint64)
+	for _, s := range p.merged() {
+		leaf := rootName
+		if s.PC != NoPC {
+			leaf = sym.SymbolizePC(s.PC)
+		}
+		frames := leaf + " [" + s.Kind.String() + "]"
+		if s.Fn != NoPC {
+			frames = sym.FuncName(s.Fn) + ";" + frames
+		}
+		agg[frames] += s.Count * p.Interval
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %d\n", k, agg[k])
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

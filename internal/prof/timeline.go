@@ -1,0 +1,215 @@
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cyclops/internal/obs"
+)
+
+// Counters is one instant's chip-wide telemetry: the aggregate ledger
+// totals plus the busy cycles of each contended resource class. It is
+// both an absolute snapshot (as gathered from the machine) and a delta
+// (as stored per timeline interval) — the same fields either way.
+type Counters struct {
+	// Run and Stall are the summed per-thread ledger totals.
+	Run   uint64 `json:"run"`
+	Stall uint64 `json:"stall"`
+	// Stalls splits Stall by reason; MemWaits is the per-access
+	// memory-wait sub-attribution.
+	Stalls   obs.Breakdown `json:"stalls"`
+	MemWaits obs.MemWaits  `json:"mem_waits"`
+	// PortBusy, BankBusy and FPUBusy are the summed busy cycles of the
+	// quad cache ports, DRAM banks and quad FPUs.
+	PortBusy uint64 `json:"port_busy"`
+	BankBusy uint64 `json:"bank_busy"`
+	FPUBusy  uint64 `json:"fpu_busy"`
+}
+
+// Sub returns c - o field-wise (the interval delta between snapshots).
+func (c Counters) Sub(o Counters) Counters {
+	d := Counters{
+		Run:      c.Run - o.Run,
+		Stall:    c.Stall - o.Stall,
+		PortBusy: c.PortBusy - o.PortBusy,
+		BankBusy: c.BankBusy - o.BankBusy,
+		FPUBusy:  c.FPUBusy - o.FPUBusy,
+	}
+	for i := range d.Stalls {
+		d.Stalls[i] = c.Stalls[i] - o.Stalls[i]
+	}
+	for i := range d.MemWaits {
+		d.MemWaits[i] = c.MemWaits[i] - o.MemWaits[i]
+	}
+	return d
+}
+
+// Add accumulates o into c (used by tests to telescope deltas back to
+// end-of-run totals).
+func (c *Counters) Add(o Counters) {
+	c.Run += o.Run
+	c.Stall += o.Stall
+	c.Stalls.AddAll(o.Stalls)
+	c.MemWaits.AddAll(o.MemWaits)
+	c.PortBusy += o.PortBusy
+	c.BankBusy += o.BankBusy
+	c.FPUBusy += o.FPUBusy
+}
+
+// IsZero reports whether every field is zero.
+func (c Counters) IsZero() bool {
+	return c == Counters{}
+}
+
+// Interval is one timeline row: the telemetry delta accumulated in the
+// interval ending at Cycle. Deltas telescope — summing every row
+// reproduces the end-of-run totals exactly.
+type Interval struct {
+	Cycle uint64 `json:"cycle"`
+	Counters
+}
+
+// Timeline samples chip-wide telemetry every Every cycles of simulated
+// time. The engine calls Tick with the current cycle and a gather
+// function whenever its clock advances; rows are emitted at interval
+// boundaries (empty intervals are skipped) and Finish flushes the final
+// partial interval. Like the PC sampler this is driven purely by
+// simulated cycles, so timelines are byte-identical across runs.
+type Timeline struct {
+	// Every is the interval length in cycles.
+	Every uint64
+
+	rows []Interval
+	prev Counters
+	next uint64
+}
+
+// NewTimeline returns a timeline sampling every `every` cycles (minimum 1).
+func NewTimeline(every uint64) *Timeline {
+	if every == 0 {
+		every = 1
+	}
+	return &Timeline{Every: every, next: every}
+}
+
+// Due reports whether cycle has reached the next interval boundary —
+// the cheap guard engines test before gathering counters.
+func (t *Timeline) Due(cycle uint64) bool { return cycle >= t.next }
+
+// Tick records the interval ending at the last boundary at or before
+// cycle, given the current absolute counters. The engine's clock may
+// jump several intervals between events; the whole jump lands in one
+// row at the last crossed boundary, which keeps the telescoping sum
+// exact without inventing per-interval attributions the engine never
+// observed.
+func (t *Timeline) Tick(cycle uint64, cur Counters) {
+	if cycle < t.next {
+		return
+	}
+	boundary := cycle - cycle%t.Every
+	if d := cur.Sub(t.prev); !d.IsZero() {
+		t.rows = append(t.rows, Interval{Cycle: boundary, Counters: d})
+	}
+	t.prev = cur
+	t.next = boundary + t.Every
+}
+
+// Finish flushes the partial interval ending at the final cycle.
+func (t *Timeline) Finish(cycle uint64, cur Counters) {
+	if d := cur.Sub(t.prev); !d.IsZero() {
+		t.rows = append(t.rows, Interval{Cycle: cycle, Counters: d})
+	}
+	t.prev = cur
+	t.next = cycle + t.Every
+}
+
+// Rows returns the recorded intervals in time order.
+func (t *Timeline) Rows() []Interval { return t.rows }
+
+// Sum telescopes every row back into absolute end-of-run totals.
+func (t *Timeline) Sum() Counters {
+	var c Counters
+	for _, r := range t.rows {
+		c.Add(r.Counters)
+	}
+	return c
+}
+
+// WriteCSV writes the timeline as CSV: one header, one row per
+// interval, columns in a fixed order (cycle, run, stall, one column per
+// stall reason, w:* mem-wait columns, resource busy columns).
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("cycle,run,stall")
+	for _, n := range obs.ReasonNames() {
+		bw.WriteString("," + n)
+	}
+	for _, n := range obs.MemWaitNames() {
+		bw.WriteString(",w:" + n)
+	}
+	bw.WriteString(",port_busy,bank_busy,fpu_busy\n")
+	for _, r := range t.rows {
+		bw.WriteString(strconv.FormatUint(r.Cycle, 10))
+		cols := []uint64{r.Run, r.Stall}
+		cols = append(cols, r.Stalls[:]...)
+		cols = append(cols, r.MemWaits[:]...)
+		cols = append(cols, r.PortBusy, r.BankBusy, r.FPUBusy)
+		for _, v := range cols {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatUint(v, 10))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the timeline as an indented JSON array of interval
+// rows with stable key order.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	rows := t.rows
+	if rows == nil {
+		rows = []Interval{}
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// CounterTracks renders the timeline as time-resolved Chrome-trace
+// counter tracks — one "C" event series per resource group at each
+// interval boundary — replacing the end-of-run-only totals the trace
+// exporter had before. pid/tid 0 places the tracks on the chip row.
+func (t *Timeline) CounterTracks() []obs.TraceCounter {
+	var out []obs.TraceCounter
+	u := strconv.FormatUint
+	for _, r := range t.rows {
+		stalls := [][2]string{{"run", u(r.Run, 10)}}
+		for i, n := range obs.ReasonNames() {
+			stalls = append(stalls, [2]string{n, u(r.Stalls[i], 10)})
+		}
+		out = append(out, obs.TraceCounter{Name: "cycles/interval", At: r.Cycle, Series: stalls})
+		waits := [][2]string{}
+		for i, n := range obs.MemWaitNames() {
+			waits = append(waits, [2]string{n, u(r.MemWaits[i], 10)})
+		}
+		out = append(out, obs.TraceCounter{Name: "memwaits/interval", At: r.Cycle, Series: waits})
+		out = append(out, obs.TraceCounter{Name: "busy/interval", At: r.Cycle, Series: [][2]string{
+			{"port", u(r.PortBusy, 10)},
+			{"bank", u(r.BankBusy, 10)},
+			{"fpu", u(r.FPUBusy, 10)},
+		}})
+	}
+	return out
+}
+
+// String summarizes the timeline for logs.
+func (t *Timeline) String() string {
+	return fmt.Sprintf("timeline{every=%d rows=%d}", t.Every, len(t.rows))
+}

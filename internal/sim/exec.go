@@ -120,6 +120,11 @@ func memSize(op isa.Op) uint32 {
 func (m *Machine) step(tu *TU) {
 	cycle := m.cycle
 	lat := &m.Chip.Cfg.Latencies
+	if obs.Enabled && tu.Samp != nil {
+		// Publish the PC before any charge so fetch stalls, dep stalls
+		// and issue cycles all sample at the instruction they belong to.
+		tu.Samp.SetPC(tu.PC)
+	}
 
 	// Instruction fetch through the PIB and the quad pair's I-cache.
 	if !tu.pib.contains(tu.PC) {
@@ -176,12 +181,6 @@ func (m *Machine) step(tu *TU) {
 		if !m.execSimple(tu, in, cycle) {
 			return
 		}
-		tu.Run++
-		tu.nextAt = cycle + 1
-		if in.Op == isa.OpHALT {
-			m.halt(tu)
-			return
-		}
 		if in.Op == isa.OpSYSCALL {
 			if m.Kernel == nil {
 				m.Trap("sim: thread %d: syscall with no kernel at %#x", tu.ID, tu.PC)
@@ -194,23 +193,34 @@ func (m *Machine) step(tu *TU) {
 			}
 			switch {
 			case res.Halt:
+				tu.ChargeRun(1)
+				tu.nextAt = cycle + 1
 				m.halt(tu)
 				return
 			case res.Retry:
+				// The retried issue is a stall, not work: nothing is
+				// charged as run, so the sampler never sees a charge
+				// that would later need taking back.
 				tu.Charge(obs.SleepIdle, cost)
-				tu.Run-- // the retried issue is a stall, not work
 				tu.Insts--
 				tu.nextAt = cycle + cost
 				return
 			default:
-				tu.Run += cost - 1
+				tu.ChargeRun(cost)
 				tu.nextAt = cycle + cost
+			}
+		} else {
+			tu.ChargeRun(1)
+			tu.nextAt = cycle + 1
+			if in.Op == isa.OpHALT {
+				m.halt(tu)
+				return
 			}
 		}
 
 	case isa.ClassBranch:
 		taken, target := m.execBranch(tu, in, cycle)
-		tu.Run += uint64(lat.BranchExec)
+		tu.ChargeRun(uint64(lat.BranchExec))
 		tu.nextAt = cycle + uint64(lat.BranchExec)
 		if taken {
 			nextPC = target
@@ -219,7 +229,7 @@ func (m *Machine) step(tu *TU) {
 	case isa.ClassIntMul:
 		v := int32(tu.reg(in.B)) * int32(tu.reg(in.C))
 		tu.setReg(in.A, uint32(v), cycle+uint64(lat.IntMulExec+lat.IntMulLatency))
-		tu.Run += uint64(lat.IntMulExec)
+		tu.ChargeRun(uint64(lat.IntMulExec))
 		tu.nextAt = cycle + uint64(lat.IntMulExec)
 
 	case isa.ClassIntDiv:
@@ -237,7 +247,7 @@ func (m *Machine) step(tu *TU) {
 		// The private divider blocks the thread for the whole execution.
 		exec := uint64(lat.IntDivExec)
 		tu.setReg(in.A, v, cycle+exec)
-		tu.Run += exec
+		tu.ChargeRun(exec)
 		tu.nextAt = cycle + exec
 
 	case isa.ClassFP, isa.ClassFPDiv, isa.ClassFPSqrt, isa.ClassFMA:
@@ -249,7 +259,7 @@ func (m *Machine) step(tu *TU) {
 			return
 		}
 		tu.ObserveAccess(acc)
-		tu.Run += uint64(lat.MemExec)
+		tu.ChargeRun(uint64(lat.MemExec))
 		tu.nextAt = cycle + uint64(lat.MemExec)
 		if freeAt > tu.nextAt {
 			// Store backpressure: the write buffer is full, the thread
@@ -369,6 +379,9 @@ func (m *Machine) execBranch(tu *TU, in isa.Inst, cycle uint64) (bool, uint32) {
 	switch in.Op {
 	case isa.OpJAL:
 		tu.setReg(in.A, tu.PC+4, cycle+2)
+		if obs.Enabled && tu.Samp != nil && in.A != isa.RZero {
+			tu.Samp.Call(target) // linking jump: enter the callee
+		}
 		return true, target
 	case isa.OpJALR:
 		t := tu.reg(in.B) + uint32(in.Imm)
@@ -376,6 +389,13 @@ func (m *Machine) execBranch(tu *TU, in isa.Inst, cycle uint64) (bool, uint32) {
 		if t%4 != 0 {
 			m.Trap("sim: thread %d: jalr to unaligned %#x at %#x", tu.ID, t, tu.PC)
 			return false, 0
+		}
+		if obs.Enabled && tu.Samp != nil {
+			if in.A != isa.RZero {
+				tu.Samp.Call(t) // indirect call
+			} else {
+				tu.Samp.Ret() // jalr r0, rl: the return idiom
+			}
 		}
 		return true, t
 	}
@@ -419,7 +439,7 @@ func (m *Machine) execFP(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) {
 	}
 	done := start + uint64(exec+extra)
 	// The thread issues in one cycle; the pipe carries the rest.
-	tu.Run++
+	tu.ChargeRun(1)
 	tu.nextAt = start + 1
 
 	writeF := func(f float64) {

@@ -16,6 +16,7 @@ import (
 
 	"cyclops/internal/core"
 	"cyclops/internal/obs"
+	"cyclops/internal/prof"
 	"cyclops/internal/timing"
 )
 
@@ -134,6 +135,11 @@ type Machine struct {
 	// TraceBuffer); it costs a few percent of simulation speed.
 	Trace *TraceBuffer
 
+	// Prof and TL are the attached guest profiler and telemetry
+	// timeline (see AttachProfile / AttachTimeline); nil means off.
+	Prof *prof.Profile
+	TL   *prof.Timeline
+
 	trap error
 }
 
@@ -160,6 +166,65 @@ func New(chip *core.Chip, kernel Syscaller) *Machine {
 
 // Cycle returns the current simulation cycle.
 func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// AttachProfile wires a guest profiler: every thread unit's ledger
+// forwards its charges to a per-unit sampler. Call before Run; a no-op
+// under cyclops_noobs.
+func (m *Machine) AttachProfile(p *prof.Profile) {
+	if !obs.Enabled {
+		return
+	}
+	m.Prof = p
+	for _, tu := range m.TUs {
+		tu.Samp = p.Sampler(tu.ID)
+	}
+}
+
+// AttachTimeline wires an interval telemetry timeline sampled on the
+// machine's cycle clock. Call before Run; a no-op under cyclops_noobs.
+func (m *Machine) AttachTimeline(t *prof.Timeline) {
+	if !obs.Enabled {
+		return
+	}
+	m.TL = t
+}
+
+// counters gathers the chip-wide telemetry the timeline samples.
+func (m *Machine) counters() prof.Counters {
+	var c prof.Counters
+	for _, tu := range m.TUs {
+		c.Run += tu.Run
+		c.Stall += tu.Stall
+		c.Stalls.AddAll(tu.Stalls)
+		c.MemWaits.AddAll(tu.MemWaits)
+	}
+	for _, r := range m.Chip.ResourceStats() {
+		switch r.Kind {
+		case "cacheport":
+			c.PortBusy += r.Busy
+		case "drambank":
+			c.BankBusy += r.Busy
+		case "fpu":
+			c.FPUBusy += r.Busy
+		}
+	}
+	return c
+}
+
+// tickTimeline samples the timeline when the clock has crossed an
+// interval boundary; finishTimeline flushes the final partial interval
+// when the run ends.
+func (m *Machine) tickTimeline() {
+	if m.TL != nil && m.TL.Due(m.cycle) {
+		m.TL.Tick(m.cycle, m.counters())
+	}
+}
+
+func (m *Machine) finishTimeline() {
+	if m.TL != nil {
+		m.TL.Finish(m.cycle, m.counters())
+	}
+}
 
 // Start begins execution of thread unit tid at pc, from the current cycle.
 // It returns an error if the unit is unusable (disabled quad) or already
@@ -217,6 +282,7 @@ func (m *Machine) Run() error {
 		if m.MaxCycles > 0 && m.cycle > m.MaxCycles {
 			return fmt.Errorf("sim: cycle limit %d exceeded", m.MaxCycles)
 		}
+		m.tickTimeline()
 		// Pop every unit due this cycle and issue in round-robin order.
 		// Units started by a syscall during the batch land in the queue
 		// at the current cycle and form their own batch next iteration,
@@ -248,6 +314,7 @@ func (m *Machine) Run() error {
 			m.compact()
 		}
 	}
+	m.finishTimeline()
 	return m.trap
 }
 
@@ -309,6 +376,7 @@ func (m *Machine) runLegacy() error {
 		if m.MaxCycles > 0 && m.cycle > m.MaxCycles {
 			return fmt.Errorf("sim: cycle limit %d exceeded", m.MaxCycles)
 		}
+		m.tickTimeline()
 		// Issue every unit scheduled for this cycle, rotating the
 		// starting position for round-robin fairness on ties.
 		n := len(m.active)
@@ -333,6 +401,7 @@ func (m *Machine) runLegacy() error {
 		}
 		m.active = live
 	}
+	m.finishTimeline()
 	return m.trap
 }
 

@@ -154,6 +154,11 @@ func (m *Machine) ChromeTrace(w io.Writer) error {
 				Series: series,
 			})
 		}
+		// An attached timeline adds time-resolved chip-wide counter
+		// tracks (per-interval stall/memwait/busy deltas) on pid 0.
+		if m.TL != nil {
+			counters = append(counters, m.TL.CounterTracks()...)
+		}
 	}
 	return obs.WriteChromeTrace(w, threads, slices, counters)
 }

@@ -79,25 +79,30 @@ func RunFFT(opts FFTOpts) (*Result, error) {
 
 	err = mach.SpawnN(opts.Threads, func(t *perf.T, p int) {
 		lo, hi := span(m, p, opts.Threads)
+		// Each six-step phase is a named profiling region, so the
+		// profiler's folded stacks and the harness profile table
+		// attribute cycles to the paper's algorithm phases.
+		phase := func(name string, fn func()) {
+			end := t.Region(name)
+			fn()
+			end()
+			endB := t.Region("barrier")
+			bar.wait(t, p)
+			endB()
+		}
 
 		// Step 1: transpose A -> B.
-		transposeBand(t, a, b, eaA, eaB, m, lo, hi)
-		bar.wait(t, p)
+		phase("transpose", func() { transposeBand(t, a, b, eaA, eaB, m, lo, hi) })
 		// Step 2: FFT the rows of B.
-		fftRows(t, b, eaB, scratch[p], m, lo, hi, false)
-		bar.wait(t, p)
+		phase("fft_rows", func() { fftRows(t, b, eaB, scratch[p], m, lo, hi, false) })
 		// Step 3: twiddle multiply B[i][j] *= w^(i*j).
-		twiddleBand(t, b, eaB, tw, m, lo, hi)
-		bar.wait(t, p)
+		phase("twiddle", func() { twiddleBand(t, b, eaB, tw, m, lo, hi) })
 		// Step 4: transpose B -> A.
-		transposeBand(t, b, a, eaB, eaA, m, lo, hi)
-		bar.wait(t, p)
+		phase("transpose", func() { transposeBand(t, b, a, eaB, eaA, m, lo, hi) })
 		// Step 5: FFT the rows of A.
-		fftRows(t, a, eaA, scratch[p], m, lo, hi, false)
-		bar.wait(t, p)
+		phase("fft_rows", func() { fftRows(t, a, eaA, scratch[p], m, lo, hi, false) })
 		// Step 6: transpose A -> B (final index order).
-		transposeBand(t, a, b, eaA, eaB, m, lo, hi)
-		bar.wait(t, p)
+		phase("transpose", func() { transposeBand(t, a, b, eaA, eaB, m, lo, hi) })
 	})
 	if err != nil {
 		return nil, err

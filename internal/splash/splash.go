@@ -17,6 +17,7 @@ import (
 	"cyclops/internal/core"
 	"cyclops/internal/obs"
 	"cyclops/internal/perf"
+	"cyclops/internal/prof"
 )
 
 // BarrierKind selects the synchronisation implementation (Section 3.3).
@@ -50,6 +51,12 @@ type Result struct {
 	// MemWaits sub-attributes memory-system waits by location
 	// (port/bank/fill/hop), summed over threads.
 	MemWaits obs.MemWaits
+	// Profile, Regions and Timeline are the attached profiler outputs
+	// (nil unless Config asked for them); Regions symbolizes the
+	// profile's synthetic region PCs.
+	Profile  *prof.Profile
+	Regions  *prof.RegionTable
+	Timeline *prof.Timeline
 }
 
 // Speedup returns base.Cycles / r.Cycles.
@@ -74,6 +81,13 @@ type Config struct {
 	// Chip, when non-nil, supplies a custom chip (design exploration);
 	// otherwise a fresh default chip is built.
 	Chip *core.Chip
+	// ProfileEvery, when nonzero, attaches the guest profiler sampling
+	// every N cycles per thread; kernels annotate their phases with
+	// T.Region and the profile lands in the Result. TimelineEvery
+	// likewise attaches the interval telemetry timeline. Both are
+	// ignored under cyclops_noobs.
+	ProfileEvery  uint64
+	TimelineEvery uint64
 }
 
 func (c Config) machine() (*perf.Machine, error) {
@@ -86,6 +100,12 @@ func (c Config) machine() (*perf.Machine, error) {
 	}
 	m := perf.New(chip)
 	m.Balanced = c.Balanced
+	if c.ProfileEvery > 0 {
+		m.AttachProfile(prof.New(c.ProfileEvery))
+	}
+	if c.TimelineEvery > 0 {
+		m.AttachTimeline(prof.NewTimeline(c.TimelineEvery))
+	}
 	return m, nil
 }
 
@@ -122,6 +142,9 @@ func result(name, problem string, threads int, m *perf.Machine) *Result {
 		Stall:    stall,
 		Stalls:   m.TotalBreakdown(),
 		MemWaits: m.TotalMemWaits(),
+		Profile:  m.Prof,
+		Regions:  m.Regions,
+		Timeline: m.TL,
 	}
 }
 

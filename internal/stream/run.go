@@ -8,6 +8,7 @@ import (
 	"cyclops/internal/core"
 	"cyclops/internal/kernel"
 	"cyclops/internal/obs"
+	"cyclops/internal/prof"
 )
 
 // Result reports one STREAM measurement.
@@ -28,6 +29,12 @@ type Result struct {
 	Run, Stall uint64
 	Stalls     obs.Breakdown
 	MemWaits   obs.MemWaits
+	// Profile and Timeline are the attached profiler outputs (nil
+	// unless Params asked for them); Prog is the assembled program,
+	// whose line table symbolizes the profile.
+	Profile  *prof.Profile
+	Timeline *prof.Timeline
+	Prog     *asm.Program
 }
 
 // Bandwidth returns the aggregate best-rep bandwidth in bytes/second at
@@ -80,6 +87,17 @@ func RunOn(chip *core.Chip, p Params, policy Policy) (*Result, error) {
 	// A generous ceiling: the slowest kernels move ~1 element per ~100
 	// cycles per thread at worst.
 	k.Machine().MaxCycles = 500_000_000
+	prog.File = "stream.s"
+	var pr *prof.Profile
+	var tl *prof.Timeline
+	if p.ProfileEvery > 0 {
+		pr = prof.New(p.ProfileEvery)
+		k.Machine().AttachProfile(pr)
+	}
+	if p.TimelineEvery > 0 {
+		tl = prof.NewTimeline(p.TimelineEvery)
+		k.Machine().AttachTimeline(tl)
+	}
 	if err := k.Boot(prog); err != nil {
 		return nil, err
 	}
@@ -96,7 +114,7 @@ func RunOn(chip *core.Chip, p Params, policy Policy) (*Result, error) {
 		}
 		stamps[i] = uint64(v)
 	}
-	res := &Result{Params: p, Insts: k.Machine().TotalInsts()}
+	res := &Result{Params: p, Insts: k.Machine().TotalInsts(), Profile: pr, Timeline: tl, Prog: prog}
 	for _, tu := range k.Machine().TUs {
 		res.Run += tu.Run
 		res.Stall += tu.Stall

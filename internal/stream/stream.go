@@ -102,6 +102,13 @@ type Params struct {
 	// Reps repeats the timed kernel; the harness reports the best rep,
 	// following STREAM's best-of-ten convention (default 3).
 	Reps int
+	// ProfileEvery, when nonzero, attaches the guest profiler sampling
+	// every N cycles per thread unit; the profile and the assembled
+	// program (for symbolization) land in the Result. TimelineEvery
+	// likewise attaches the interval telemetry timeline. Both are
+	// ignored under cyclops_noobs.
+	ProfileEvery  uint64
+	TimelineEvery uint64
 }
 
 // Vector placement: three 2 MB regions below the kernel stacks, staggered

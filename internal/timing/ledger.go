@@ -24,6 +24,7 @@ package timing
 import (
 	"cyclops/internal/cache"
 	"cyclops/internal/obs"
+	"cyclops/internal/prof"
 )
 
 // ReadyTime is the shared ready-time abstraction: the cycle at which a
@@ -55,10 +56,20 @@ type Ledger struct {
 	// MemWaits sub-attributes memory-system waits by location
 	// (port/bank/fill/hop), accumulated per access by ObserveAccess.
 	MemWaits obs.MemWaits
+	// Samp, when attached, receives every charge as a profiler event:
+	// the cycle sampler sees exactly the stream the ledger books, so
+	// sampled attributions always agree with the totals. Nil (the
+	// default) and cyclops_noobs builds skip the forwarding entirely.
+	Samp *prof.TSampler
 }
 
 // ChargeRun books n cycles of issued work.
-func (l *Ledger) ChargeRun(n uint64) { l.Run += n }
+func (l *Ledger) ChargeRun(n uint64) {
+	l.Run += n
+	if obs.Enabled && l.Samp != nil {
+		l.Samp.Charge(prof.KindRun, n)
+	}
+}
 
 // Charge books n stall cycles to reason r: the legacy total moves
 // unconditionally, the per-reason bucket only when the observability
@@ -67,6 +78,9 @@ func (l *Ledger) Charge(r obs.StallReason, n uint64) {
 	l.Stall += n
 	if obs.Enabled {
 		l.Stalls[r] += n
+		if l.Samp != nil {
+			l.Samp.Charge(prof.StallKind(r), n)
+		}
 	}
 }
 
