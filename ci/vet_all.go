@@ -1,0 +1,85 @@
+//go:build ignore
+
+// Vets every assembly program the repo ships or generates:
+//
+//	go run ./ci/vet_all.go
+//
+// The corpus is the full STREAM generator matrix at CI-sized problems
+// plus the assembly-embedding examples (their `const src` blocks are
+// extracted the same way the smoke test does it). Any error-severity
+// diagnostic fails the run; warnings are printed and tolerated. The
+// faulty fixtures under examples/faulty/vet/ are deliberately broken
+// and are covered by their golden test, not by this driver.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cyclops/internal/asm"
+	"cyclops/internal/stream"
+	"cyclops/internal/vet"
+)
+
+func main() {
+	type prog struct{ name, src string }
+	var corpus []prog
+
+	for _, k := range stream.Kernels {
+		for _, par := range []stream.Params{
+			{Kernel: k, N: 256, Threads: 8, Partition: stream.Blocked},
+			{Kernel: k, N: 256, Threads: 8, Partition: stream.Blocked, Unroll: 4},
+			{Kernel: k, N: 256, Threads: 8, Partition: stream.Blocked, Local: true},
+			{Kernel: k, N: 256, Threads: 8, Partition: stream.Cyclic},
+			{Kernel: k, N: 64, Threads: 8, Independent: true},
+		} {
+			src, err := stream.Generate(par)
+			if err != nil {
+				log.Fatalf("generate %+v: %v", par, err)
+			}
+			name := fmt.Sprintf("stream-%s-%s-u%d-local%v-ind%v.s",
+				strings.ToLower(k.String()), par.Partition, par.Unroll, par.Local, par.Independent)
+			corpus = append(corpus, prog{name, src})
+		}
+	}
+
+	for _, dir := range []string{"quickstart", "outofcore"} {
+		data, err := os.ReadFile("examples/" + dir + "/main.go")
+		if err != nil {
+			log.Fatal(err)
+		}
+		const marker = "const src = `"
+		i := strings.Index(string(data), marker)
+		if i < 0 {
+			log.Fatalf("examples/%s/main.go has no `const src` block", dir)
+		}
+		rest := string(data)[i+len(marker):]
+		j := strings.Index(rest, "`")
+		if j < 0 {
+			log.Fatalf("examples/%s/main.go: unterminated src literal", dir)
+		}
+		corpus = append(corpus, prog{dir + ".s", rest[:j]})
+	}
+
+	errors, warnings := 0, 0
+	for _, pr := range corpus {
+		p, err := asm.AssembleNamed(pr.name, pr.src)
+		if err != nil {
+			log.Fatalf("%s: %v", pr.name, err)
+		}
+		for _, d := range vet.Check(p) {
+			fmt.Println(d)
+			if d.Sev == vet.Error {
+				errors++
+			} else {
+				warnings++
+			}
+		}
+	}
+	fmt.Printf("vetted %d programs: %d errors, %d warnings\n", len(corpus), errors, warnings)
+	if errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	cyclops-asm [-o prog.cyc] [-sym prog.sym] [-listing] prog.s
+//	cyclops-asm [-o prog.cyc] [-sym prog.sym] [-listing] [-vet] prog.s
 //	cyclops-asm -d prog.cyc
+//
+// With -vet the assembled program is run through the static analyzer
+// (internal/vet) before the image is written: warnings go to stderr and
+// do not block, error-severity diagnostics abort the build with no
+// output file.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"cyclops/internal/asm"
 	"cyclops/internal/image"
+	"cyclops/internal/vet"
 )
 
 func main() {
@@ -23,19 +29,20 @@ func main() {
 	symOut := flag.String("sym", "", "also write a symbol listing to this file")
 	disasm := flag.Bool("d", false, "disassemble an image file instead of assembling")
 	listing := flag.Bool("listing", false, "print an address/bytes/source listing to stdout")
+	doVet := flag.Bool("vet", false, "run the static analyzer; error diagnostics block the output")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-asm [-o out.cyc] [-sym out.sym] [-listing] prog.s | cyclops-asm -d prog.cyc")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-asm [-o out.cyc] [-sym out.sym] [-listing] [-vet] prog.s | cyclops-asm -d prog.cyc")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
-	if err := run(in, *out, *symOut, *disasm, *listing); err != nil {
+	if err := run(in, *out, *symOut, *disasm, *listing, *doVet); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-asm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, symOut string, disasm, listing bool) error {
+func run(in, out, symOut string, disasm, listing, doVet bool) error {
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
@@ -48,11 +55,17 @@ func run(in, out, symOut string, disasm, listing bool) error {
 		fmt.Print(asm.Disassemble(prog))
 		return nil
 	}
-	prog, err := asm.Assemble(string(data))
+	prog, err := asm.AssembleNamed(in, string(data))
 	if err != nil {
 		return err
 	}
-	prog.File = in
+	if doVet {
+		diags := vet.Check(prog)
+		fmt.Fprint(os.Stderr, vet.Render(diags))
+		if vet.HasErrors(diags) {
+			return fmt.Errorf("vet found errors; no output written")
+		}
+	}
 	if listing {
 		fmt.Print(asm.Listing(prog, string(data)))
 	}

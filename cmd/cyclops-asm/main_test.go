@@ -15,7 +15,7 @@ func TestAssembleAndDisassemble(t *testing.T) {
 	if err := os.WriteFile(src, []byte("_start:\tadd r3, r4, r5\n\thalt\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(src, out, sym, false, true); err != nil {
+	if err := run(src, out, sym, false, true, false); err != nil {
 		t.Fatal(err)
 	}
 	img, err := os.ReadFile(out)
@@ -27,8 +27,40 @@ func TestAssembleAndDisassemble(t *testing.T) {
 		t.Fatalf("symbols: %v %q", err, syms)
 	}
 	// Disassembly path parses the image.
-	if err := run(out, "", "", true, false); err != nil {
+	if err := run(out, "", "", true, false, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Under -vet, error-severity diagnostics abort with no output file while
+// warning-only programs still build.
+func TestVetGatesOutput(t *testing.T) {
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.s")
+	badOut := filepath.Join(dir, "bad.cyc")
+	// Reads r9 before any write: a vet error, though it assembles fine.
+	os.WriteFile(bad, []byte("_start:\tmov r8, r9\n\thalt\n"), 0o644)
+	if err := run(bad, badOut, "", false, false, true); err == nil {
+		t.Error("vet errors did not fail the build")
+	}
+	if _, err := os.Stat(badOut); !os.IsNotExist(err) {
+		t.Errorf("output file written despite vet errors (stat err = %v)", err)
+	}
+	// Without -vet the same program builds.
+	if err := run(bad, badOut, "", false, false, false); err != nil {
+		t.Errorf("build without -vet failed: %v", err)
+	}
+
+	warn := filepath.Join(dir, "warn.s")
+	warnOut := filepath.Join(dir, "warn.cyc")
+	// A release-only barrier arrival: vet warns but must not block.
+	os.WriteFile(warn, []byte("_start:\tli r8, 1\n\tmtspr r8, 4\n\thalt\n"), 0o644)
+	if err := run(warn, warnOut, "", false, false, true); err != nil {
+		t.Errorf("vet warnings blocked the build: %v", err)
+	}
+	if _, err := os.Stat(warnOut); err != nil {
+		t.Errorf("output file missing after warning-only vet: %v", err)
 	}
 }
 
@@ -36,14 +68,14 @@ func TestErrorsSurface(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "bad.s")
 	os.WriteFile(src, []byte("frobnicate r1\n"), 0o644)
-	if err := run(src, filepath.Join(dir, "o.cyc"), "", false, false); err == nil {
+	if err := run(src, filepath.Join(dir, "o.cyc"), "", false, false, false); err == nil {
 		t.Error("bad source assembled")
 	}
-	if err := run(filepath.Join(dir, "missing.s"), "", "", false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.s"), "", "", false, false, false); err == nil {
 		t.Error("missing input accepted")
 	}
 	os.WriteFile(src, []byte("not an image"), 0o644)
-	if err := run(src, "", "", true, false); err == nil {
+	if err := run(src, "", "", true, false, false); err == nil {
 		t.Error("garbage disassembled")
 	}
 }

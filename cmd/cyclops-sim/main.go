@@ -86,10 +86,7 @@ func run(path string, o options) error {
 	if strings.HasSuffix(path, ".cyc") {
 		prog, err = image.Decode(data)
 	} else {
-		prog, err = asm.Assemble(string(data))
-		if prog != nil {
-			prog.File = path
-		}
+		prog, err = asm.AssembleNamed(path, string(data))
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,87 @@
+// Command cyclops-vet statically analyzes Cyclops assembly programs.
+//
+// Usage:
+//
+//	cyclops-vet [-json] [-strict] prog.s [more.s ...]
+//
+// Each source is assembled and run through the internal/vet pipeline
+// (CFG construction plus the uninit/flow/fppair/spr/smc/branch passes).
+// Diagnostics print one per line as "file:line: severity: [pass] msg
+// (pc 0x…)"; -json emits a JSON array instead. The exit status is 1
+// when any program fails to assemble or produces an error-severity
+// diagnostic (-strict promotes warnings to failures too), so the tool
+// slots directly into CI lanes and build scripts.
+//
+// Only assembly sources are accepted: .cyc images have no line table or
+// label list, which the analyzer needs for code/data separation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cyclops/internal/asm"
+	"cyclops/internal/vet"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	strict := flag.Bool("strict", false, "treat warnings as failures")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cyclops-vet [-json] [-strict] prog.s [more.s ...]")
+		os.Exit(2)
+	}
+	failed, err := run(flag.Args(), *jsonOut, *strict, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-vet:", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run vets every path and writes diagnostics to w; it reports whether
+// any program failed the severity gate. Assembly errors are printed like
+// diagnostics (they already carry file:line) and count as failures, but
+// do not stop the remaining files from being checked.
+func run(paths []string, jsonOut, strict bool, w io.Writer) (failed bool, err error) {
+	var all []vet.Diagnostic
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return false, err
+		}
+		prog, aerr := asm.AssembleNamed(path, string(data))
+		if aerr != nil {
+			fmt.Fprintln(w, aerr)
+			failed = true
+			continue
+		}
+		diags := vet.Check(prog)
+		all = append(all, diags...)
+		if !jsonOut {
+			fmt.Fprint(w, vet.Render(diags))
+		}
+		if vet.HasErrors(diags) {
+			failed = true
+		} else if strict && len(diags) > 0 {
+			failed = true
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []vet.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			return failed, err
+		}
+	}
+	return failed, nil
+}

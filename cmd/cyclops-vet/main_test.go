@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cyclops/internal/vet"
+)
+
+func write(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSrc = "_start:\tli r8, 1\n\thalt\n"
+const buggySrc = "_start:\tmov r8, r9\n\thalt\n"             // uninit error
+const warnSrc = "_start:\tli r8, 1\n\tmtspr r8, 4\n\thalt\n" // arrival warning
+
+func TestRunSeverityGate(t *testing.T) {
+	dir := t.TempDir()
+	clean := write(t, dir, "clean.s", cleanSrc)
+	buggy := write(t, dir, "buggy.s", buggySrc)
+	warn := write(t, dir, "warn.s", warnSrc)
+
+	var out bytes.Buffer
+	failed, err := run([]string{clean}, false, false, &out)
+	if err != nil || failed {
+		t.Errorf("clean program: failed=%v err=%v\n%s", failed, err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean program produced output: %q", out.String())
+	}
+
+	out.Reset()
+	failed, err = run([]string{buggy, clean}, false, false, &out)
+	if err != nil || !failed {
+		t.Errorf("buggy program: failed=%v err=%v", failed, err)
+	}
+	if !strings.Contains(out.String(), "buggy.s:1: error: [uninit]") {
+		t.Errorf("diagnostic missing file:line: %q", out.String())
+	}
+
+	out.Reset()
+	if failed, _ = run([]string{warn}, false, false, &out); failed {
+		t.Errorf("warnings failed without -strict:\n%s", out.String())
+	}
+	if failed, _ = run([]string{warn}, false, true, &out); !failed {
+		t.Error("warnings passed under -strict")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	buggy := write(t, dir, "buggy.s", buggySrc)
+
+	var out bytes.Buffer
+	failed, err := run([]string{buggy}, true, false, &out)
+	if err != nil || !failed {
+		t.Fatalf("failed=%v err=%v", failed, err)
+	}
+	var diags []vet.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Pass != "uninit" || diags[0].Line != 1 {
+		t.Errorf("diags = %+v, want one line-1 uninit finding", diags)
+	}
+
+	// Clean input must still emit a valid (empty) array.
+	out.Reset()
+	clean := write(t, dir, "clean.s", cleanSrc)
+	if _, err := run([]string{clean}, true, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean JSON output = %q, want []", out.String())
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if _, err := run([]string{filepath.Join(dir, "missing.s")}, false, false, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Assembly errors are reported with file:line and count as failure.
+	bad := write(t, dir, "bad.s", "frobnicate r1\n")
+	out.Reset()
+	failed, err := run([]string{bad}, false, false, &out)
+	if err != nil || !failed {
+		t.Errorf("failed=%v err=%v", failed, err)
+	}
+	if !strings.Contains(out.String(), "bad.s:1:") {
+		t.Errorf("assembler error not located: %q", out.String())
+	}
+}

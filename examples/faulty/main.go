@@ -1,16 +1,53 @@
-// Fault tolerance (the paper's Section 5 future work): the chip keeps
-// computing with broken parts. A failed memory bank shrinks the
+// Faulty things, caught or tolerated. Two demonstrations share this
+// example:
+//
+// First, faulty programs: the vet/ directory holds one deliberately
+// broken assembly source per static-analysis pass (uninitialized reads,
+// dead code, odd FP pairs, barrier misuse, self-modifying stores, branches
+// into pseudo expansions), and this program runs the cyclops-vet analyzer
+// over each to show the diagnostic it was seeded to trigger.
+//
+// Second, faulty hardware (the paper's Section 5 future work): the chip
+// keeps computing with broken parts. A failed memory bank shrinks the
 // contiguous address space and lowers peak bandwidth; a broken FPU
 // disables its whole quad and the kernel schedules around it.
 package main
 
 import (
+	"embed"
 	"fmt"
 	"log"
 
 	"cyclops"
 	"cyclops/experiments"
+	"cyclops/internal/asm"
+	"cyclops/internal/vet"
 )
+
+//go:embed vet/*.s
+var vetFixtures embed.FS
+
+// showVet runs the static analyzer over each seeded-bug fixture.
+func showVet() {
+	fmt.Println("Part 1: faulty programs, caught by cyclops-vet before they run.")
+	fmt.Println()
+	for _, pass := range vet.Passes {
+		name := "vet/" + pass.ID + ".s"
+		src, err := vetFixtures.ReadFile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := asm.AssembleNamed(name, string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  pass %-7s %s\n", pass.ID+":", pass.Doc)
+		for _, d := range vet.Check(prog) {
+			fmt.Printf("    %s\n", d)
+		}
+	}
+	fmt.Println()
+}
 
 func bandwidth(failBanks, failQuads int) float64 {
 	sys, err := cyclops.NewSystem(cyclops.DefaultConfig())
@@ -47,6 +84,8 @@ func bandwidth(failBanks, failQuads int) float64 {
 }
 
 func main() {
+	showVet()
+	fmt.Println("Part 2: faulty hardware.")
 	fmt.Println("Running STREAM Triad on progressively broken chips:")
 	fmt.Println()
 	healthy := bandwidth(0, 0)

@@ -1,0 +1,6 @@
+; Seeded bug for the "branch" pass: la expands to two instructions
+; (lui+ori), and the branch targets _start+4 — the middle of that
+; expansion, an instruction the programmer never wrote.
+_start:	la   r8, num
+	b    _start+4
+num:	.word 42

@@ -1,0 +1,7 @@
+; Seeded bugs for the "flow" pass: the nop after the jump is unreachable
+; (warning), and the reachable code at done runs straight off the end of
+; the instruction stream into the .word (error).
+_start:	j    done
+dead:	nop
+done:	addi r8, r0, 1
+	.word 0

@@ -1,0 +1,7 @@
+; Seeded bug for the "fppair" pass: double-precision values live in
+; (even, odd) register pairs, but the fadd names r33 as its destination
+; base — an odd register, so the result would straddle two pairs.
+_start:	fsub d34, d34, d34
+	fsub d36, d36, d36
+	fadd r33, r34, r36
+	halt

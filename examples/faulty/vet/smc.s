@@ -1,0 +1,7 @@
+; Seeded bug for the "smc" pass: the store address is provably _start,
+; i.e. inside the instruction stream. The simulator decodes instructions
+; once, so the patched word would never take effect.
+_start:	la   r8, _start
+	li   r9, 7
+	sw   r9, 0(r8)
+	halt

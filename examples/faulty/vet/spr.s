@@ -1,0 +1,8 @@
+; Seeded bugs for the "spr" pass: SPR 0 (tid) is read-only, so the first
+; mtspr traps at run time (error); the barrier arrival that follows is
+; never paired with a spin on mfspr 4, so the thread signals the wired-OR
+; barrier but cannot know when the others arrive (warning).
+_start:	li    r8, 1
+	mtspr r8, 0
+	mtspr r8, 4
+	halt

@@ -1,0 +1,6 @@
+; Seeded bug for the "uninit" pass: r9 is copied into r8 before anything
+; writes it. The kernel zeroes registers at boot, so the program "works"
+; on the simulator — and silently computes with garbage on any machine
+; that does not.
+_start:	mov  r8, r9
+	halt

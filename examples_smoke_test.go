@@ -11,6 +11,7 @@ import (
 	"cyclops"
 	"cyclops/experiments"
 	"cyclops/internal/splash"
+	"cyclops/internal/vet"
 )
 
 // Every examples/ program must keep working. The full examples run at
@@ -55,12 +56,19 @@ func patchEqu(t *testing.T, src, name string, value int) string {
 }
 
 // runAsm assembles and runs a source on the instruction-level simulator,
-// returning the console output.
+// returning the console output. Every source is also vetted: an
+// error-severity static-analysis finding in an example fails its smoke
+// test before a single cycle is simulated.
 func runAsm(t *testing.T, cfg cyclops.Config, src string, setup func(*cyclops.System)) string {
 	t.Helper()
 	prog, err := cyclops.Assemble(src)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, d := range vet.Check(prog) {
+		if d.Sev == vet.Error {
+			t.Errorf("vet: %s", d)
+		}
 	}
 	sys, err := cyclops.NewSystem(cfg)
 	if err != nil {

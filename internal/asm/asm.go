@@ -60,13 +60,21 @@ func (p *Program) Word(addr uint32) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
-// Error is an assembly diagnostic tied to a source line.
+// Error is an assembly diagnostic tied to a source line. File is the
+// source name when the caller assembled through AssembleNamed, so tools
+// report clickable file:line positions instead of bare line numbers.
 type Error struct {
+	File string
 	Line int
 	Msg  string
 }
 
-func (e Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+func (e Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
 
 // ErrorList collects every diagnostic of a failed assembly.
 type ErrorList []Error
@@ -83,7 +91,12 @@ func (l ErrorList) Error() string {
 }
 
 // Assemble translates source text into a Program.
-func Assemble(src string) (*Program, error) {
+func Assemble(src string) (*Program, error) { return AssembleNamed("", src) }
+
+// AssembleNamed is Assemble with a source name: the name lands in the
+// Program's File field and in every diagnostic, so errors print as
+// file:line instead of a bare line number.
+func AssembleNamed(file, src string) (*Program, error) {
 	a := &assembler{symbols: make(map[string]uint32)}
 	a.parse(src)
 	if len(a.errs) == 0 {
@@ -93,6 +106,9 @@ func Assemble(src string) (*Program, error) {
 		a.emit()
 	}
 	if len(a.errs) > 0 {
+		for i := range a.errs {
+			a.errs[i].File = file
+		}
 		sort.Slice(a.errs, func(i, j int) bool { return a.errs[i].Line < a.errs[j].Line })
 		return nil, a.errs
 	}
@@ -100,7 +116,7 @@ func Assemble(src string) (*Program, error) {
 	if e, ok := a.symbols["_start"]; ok {
 		entry = e
 	}
-	p := &Program{Origin: a.origin, Bytes: a.image, Entry: entry, Symbols: a.symbols}
+	p := &Program{Origin: a.origin, Bytes: a.image, Entry: entry, Symbols: a.symbols, File: file}
 	a.buildLineTable(p)
 	return p, nil
 }

@@ -1,0 +1,84 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Assembler diagnostics must carry the source name when one is known:
+// AssembleNamed stamps every Error with the file, and Error renders as
+// "file:line: message".
+func TestErrorsCarryFileLine(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"duplicate label",
+			"dup:\tnop\ndup:\tnop\n",
+			`lib.s:2: symbol "dup" redefined`},
+		{"bad operand",
+			"_start:\tadd r1, r2\n",
+			"lib.s:1: add needs 3 operands, got 2"},
+		{"bad register",
+			"_start:\tadd r1, r2, r99\n",
+			`lib.s:1: register "r99" out of range`},
+	}
+	for _, c := range cases {
+		_, err := AssembleNamed("lib.s", c.src)
+		if err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err.Error(), c.want)
+		}
+		var list ErrorList
+		if !errors.As(err, &list) {
+			t.Errorf("%s: error is %T, want ErrorList", c.name, err)
+			continue
+		}
+		for _, e := range list {
+			if e.File != "lib.s" {
+				t.Errorf("%s: diagnostic file = %q, want lib.s", c.name, e.File)
+			}
+		}
+	}
+
+	// The anonymous entry point keeps the historical bare-line format.
+	_, err := Assemble("dup:\tnop\ndup:\tnop\n")
+	if err == nil || !strings.HasPrefix(err.Error(), "line 2: ") {
+		t.Errorf("Assemble error = %v, want line-prefixed form", err)
+	}
+}
+
+// The line table's Code flag separates instructions (including pseudo
+// expansions) from data directives.
+func TestLineTableCodeFlag(t *testing.T) {
+	p, err := Assemble(`
+_start:	la   r8, data
+	addi r8, r8, 4
+	halt
+data:	.word 1, 2
+	.space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var code, data int
+	for _, l := range p.Lines {
+		if l.Code {
+			code++
+			if l.Size != 4 && l.Size != 8 {
+				t.Errorf("code line at %#x has size %d", l.Addr, l.Size)
+			}
+		} else {
+			data++
+		}
+	}
+	if code != 3 { // la (8 bytes), addi, halt
+		t.Errorf("code lines = %d, want 3", code)
+	}
+	if data != 2 { // .word, .space
+		t.Errorf("data lines = %d, want 2", data)
+	}
+}

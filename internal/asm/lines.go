@@ -17,6 +17,10 @@ type Line struct {
 	Addr, Size uint32
 	// Line is the 1-based source line number.
 	Line int32
+	// Code marks instruction statements (including pseudo expansions);
+	// data directives leave it false. The vet analyzer's text/data split
+	// is built from this flag.
+	Code bool
 }
 
 // Label is one code label in address order. Unlike Symbols this excludes
@@ -103,7 +107,7 @@ func (a *assembler) buildLineTable(p *Program) {
 		if st.kind == stDirective && st.directive == ".align" {
 			continue // padding has no meaningful source line
 		}
-		p.Lines = append(p.Lines, Line{Addr: st.addr, Size: st.size, Line: int32(st.line)})
+		p.Lines = append(p.Lines, Line{Addr: st.addr, Size: st.size, Line: int32(st.line), Code: st.kind == stInst})
 	}
 	for name, addr := range a.symbols {
 		if a.equs[name] {

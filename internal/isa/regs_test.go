@@ -1,0 +1,118 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegEffects(t *testing.T) {
+	cases := []struct {
+		name       string
+		in         Inst
+		uses, defs []uint8
+	}{
+		{"add", Inst{Op: OpADD, A: 3, B: 4, C: 5}, []uint8{4, 5}, []uint8{3}},
+		{"addi", Inst{Op: OpADDI, A: 8, B: 9, Imm: 1}, []uint8{9}, []uint8{8}},
+		{"lui", Inst{Op: OpLUI, A: 8, Imm: 1}, nil, []uint8{8}},
+		{"lw", Inst{Op: OpLW, A: 8, B: 9}, []uint8{9}, []uint8{8}},
+		{"ld pair", Inst{Op: OpLD, A: 32, B: 9}, []uint8{9}, []uint8{32, 33}},
+		{"sw", Inst{Op: OpSW, A: 8, B: 9}, []uint8{8, 9}, nil},
+		{"sd pair", Inst{Op: OpSD, A: 32, B: 9}, []uint8{9, 32, 33}, nil},
+		{"beq", Inst{Op: OpBEQ, A: 8, B: 9}, []uint8{8, 9}, nil},
+		{"jal", Inst{Op: OpJAL, A: RLR}, nil, []uint8{RLR}},
+		{"jalr", Inst{Op: OpJALR, A: RLR, B: 9}, []uint8{9}, []uint8{RLR}},
+		{"fadd", Inst{Op: OpFADD, A: 32, B: 34, C: 36},
+			[]uint8{34, 35, 36, 37}, []uint8{32, 33}},
+		{"fma", Inst{Op: OpFMA, A: 32, B: 34, C: 36, D: 32},
+			[]uint8{32, 33, 34, 35, 36, 37}, []uint8{32, 33}},
+		{"fneg", Inst{Op: OpFNEG, A: 32, B: 34}, []uint8{34, 35}, []uint8{32, 33}},
+		{"fcvtdw", Inst{Op: OpFCVTDW, A: 32, B: 9}, []uint8{9}, []uint8{32, 33}},
+		{"fcvtwd", Inst{Op: OpFCVTWD, A: 9, B: 32}, []uint8{32, 33}, []uint8{9}},
+		{"fclt", Inst{Op: OpFCLT, A: 9, B: 32, C: 34},
+			[]uint8{32, 33, 34, 35}, []uint8{9}},
+		{"amoadd", Inst{Op: OpAMOADD, A: 8, B: 9, C: 10}, []uint8{9, 10}, []uint8{8}},
+		{"mfspr", Inst{Op: OpMFSPR, A: 8, Imm: SPRCycle}, nil, []uint8{8}},
+		{"mtspr", Inst{Op: OpMTSPR, A: 8, Imm: SPRBarrier}, []uint8{8}, nil},
+		{"syscall", Inst{Op: OpSYSCALL}, []uint8{RArg0}, []uint8{RArg0}},
+		{"halt", Inst{Op: OpHALT}, nil, nil},
+		{"sync", Inst{Op: OpSYNC}, nil, nil},
+		// r0 is hardwired: never a use, never a def.
+		{"add into r0", Inst{Op: OpADD, A: 0, B: 0, C: 5}, []uint8{5}, nil},
+		{"branch on r0", Inst{Op: OpBEQ, A: 0, B: 0}, nil, nil},
+	}
+	for _, c := range cases {
+		uses, defs := RegEffects(c.in)
+		if got := uses.Regs(); !reflect.DeepEqual(got, c.uses) {
+			t.Errorf("%s: uses = %v, want %v", c.name, got, c.uses)
+		}
+		if got := defs.Regs(); !reflect.DeepEqual(got, c.defs) {
+			t.Errorf("%s: defs = %v, want %v", c.name, got, c.defs)
+		}
+	}
+}
+
+// Every opcode must produce effects consistent with its format: defs and
+// uses stay inside the register file and r0 never appears.
+func TestRegEffectsExhaustive(t *testing.T) {
+	for op := Op(1); op < NumOps; op++ {
+		in := Inst{Op: op, A: 2, B: 4, C: 6, D: 8}
+		uses, defs := RegEffects(in)
+		if uses.Has(0) || defs.Has(0) {
+			t.Errorf("%s: r0 in effects", op)
+		}
+		info := Lookup(op)
+		if info.Store && op != OpAMOADD && op != OpAMOSWAP && op != OpAMOCAS && defs != 0 {
+			t.Errorf("%s: plain store defines registers %v", op, defs.Regs())
+		}
+	}
+}
+
+func TestPairBases(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []uint8
+	}{
+		{Inst{Op: OpFMA, A: 32, B: 34, C: 36, D: 38}, []uint8{32, 34, 36, 38}},
+		{Inst{Op: OpFADD, A: 32, B: 34, C: 36}, []uint8{32, 34, 36}},
+		{Inst{Op: OpFNEG, A: 32, B: 34}, []uint8{32, 34}},
+		{Inst{Op: OpFCVTDW, A: 32, B: 9}, []uint8{32}},
+		{Inst{Op: OpFCVTWD, A: 9, B: 32}, []uint8{32}},
+		{Inst{Op: OpFCEQ, A: 9, B: 32, C: 34}, []uint8{32, 34}},
+		{Inst{Op: OpLD, A: 32, B: 9}, []uint8{32}},
+		{Inst{Op: OpSD, A: 32, B: 9}, []uint8{32}},
+		{Inst{Op: OpLW, A: 8, B: 9}, nil},
+		{Inst{Op: OpADD, A: 3, B: 4, C: 5}, nil},
+	}
+	for _, c := range cases {
+		var got []uint8
+		for _, pr := range PairBases(c.in) {
+			got = append(got, pr.Reg)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: pair bases = %v, want %v", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestSPRTables(t *testing.T) {
+	for n := int32(0); n < NumSPRs; n++ {
+		ro, known := ReadOnlySPR(n), KnownSPR(n)
+		switch n {
+		case SPRBarrier:
+			if ro || !known {
+				t.Errorf("barrier SPR: readonly=%v known=%v", ro, known)
+			}
+		case 7:
+			if ro || known {
+				t.Errorf("SPR 7: readonly=%v known=%v, want both false", ro, known)
+			}
+		default:
+			if !ro || !known {
+				t.Errorf("SPR %d (%s): readonly=%v known=%v", n, SPRName(n), ro, known)
+			}
+		}
+	}
+	if SPRName(4) != "barrier" || SPRName(7) != "undefined" {
+		t.Errorf("SPRName: %q, %q", SPRName(4), SPRName(7))
+	}
+}

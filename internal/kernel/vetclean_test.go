@@ -1,0 +1,40 @@
+package kernel
+
+import (
+	"testing"
+
+	"cyclops/internal/asm"
+	"cyclops/internal/vet"
+)
+
+// Every hand-written assembly kernel in this package must be vet-clean
+// at error severity: these sources exercise the call convention, the
+// hardware barrier and the FP pair discipline, so they double as the
+// analyzer's negative corpus. (The splash kernels are direct-execution
+// Go and have no assembly to vet.)
+func TestKernelSourcesVetClean(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"asmlib", asmlibSrc},
+		{"gemm", gemmSrc},
+		{"hwbarrier", hwBarrierSrc(4, 3)},
+		{"swbarrier", swBarrierSrc(4, 3)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := asm.AssembleNamed(c.name+".s", c.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			diags := vet.Check(p)
+			for _, d := range diags {
+				if d.Sev == vet.Error {
+					t.Errorf("error diagnostic: %s", d)
+				} else {
+					t.Logf("warning: %s", d)
+				}
+			}
+		})
+	}
+}

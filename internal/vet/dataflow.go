@@ -1,0 +1,237 @@
+package vet
+
+import "cyclops/internal/isa"
+
+// Definite-assignment dataflow: forward, with meet = intersection over
+// predecessors (a register is defined only if every path defines it).
+// The lattice is RegMask ordered by ⊆ with top = all registers; blocks
+// start at top so loop back-edges cannot spuriously kill definitions
+// made before the loop. Entry blocks are clamped to their ABI seed.
+
+const allRegs = ^isa.RegMask(0)
+
+// zeroIdiom reports the conventional "clear a register by subtracting or
+// xoring it with itself" pattern; the result does not depend on the
+// operand's previous value, so the use side is ignored.
+func zeroIdiom(in isa.Inst) bool {
+	switch in.Op {
+	case isa.OpSUB, isa.OpXOR, isa.OpFSUB:
+		return in.A == in.B && in.B == in.C
+	}
+	return false
+}
+
+// instEffects is RegEffects with the zero idiom applied.
+func instEffects(in isa.Inst) (uses, defs isa.RegMask) {
+	uses, defs = isa.RegEffects(in)
+	if zeroIdiom(in) {
+		uses = 0
+	}
+	return uses, defs
+}
+
+// solveDefined runs the fixpoint and returns the block entry states.
+func (g *graph) solveDefined() []isa.RegMask {
+	in := make([]isa.RegMask, len(g.blocks))
+	out := make([]isa.RegMask, len(g.blocks))
+	for b := range g.blocks {
+		in[b] = allRegs
+		if g.blocks[b].seeded {
+			in[b] &= g.blocks[b].seed
+		}
+		out[b] = g.transferDefined(b, in[b])
+	}
+	work := make([]int, len(g.blocks))
+	inWork := make([]bool, len(g.blocks))
+	for b := range g.blocks {
+		work[b] = b
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		acc := allRegs
+		if g.blocks[b].seeded {
+			acc &= g.blocks[b].seed
+		}
+		for _, e := range g.preds[b] {
+			acc &= out[e.to] | e.extra
+		}
+		if acc == in[b] {
+			continue
+		}
+		in[b] = acc
+		o := g.transferDefined(b, acc)
+		if o == out[b] {
+			continue
+		}
+		out[b] = o
+		for _, e := range g.blocks[b].succs {
+			if !inWork[e.to] {
+				inWork[e.to] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	return in
+}
+
+// transferDefined applies a block's definitions to an entry state.
+func (g *graph) transferDefined(b int, state isa.RegMask) isa.RegMask {
+	blk := &g.blocks[b]
+	for i := blk.first; i <= blk.last; i++ {
+		_, defs := instEffects(g.insts[i].in)
+		state |= defs
+	}
+	return state
+}
+
+// --- Constant propagation ---------------------------------------------
+//
+// A small per-register constant lattice (unknown / known value) used by
+// the smc pass to prove store addresses. Only the handful of ops the
+// assembler's address-materialization pseudos expand to are modeled;
+// everything else kills its destinations.
+
+// cstate holds per-register constant facts as parallel known/value
+// arrays; r0 is handled in cget, not stored.
+type cstate struct {
+	known [64]bool
+	val   [64]uint32
+}
+
+func (s *cstate) get(r uint8) (uint32, bool) {
+	if r == isa.RZero {
+		return 0, true
+	}
+	return s.val[r], s.known[r]
+}
+
+func (s *cstate) set(r uint8, v uint32) {
+	if r != isa.RZero {
+		s.known[r] = true
+		s.val[r] = v
+	}
+}
+
+func (s *cstate) kill(m isa.RegMask) {
+	for _, r := range m.Regs() {
+		s.known[r] = false
+	}
+}
+
+// meet lowers s to the intersection of s and o; it reports whether s
+// changed.
+func (s *cstate) meet(o *cstate) bool {
+	changed := false
+	for r := 1; r < 64; r++ {
+		if s.known[r] && (!o.known[r] || o.val[r] != s.val[r]) {
+			s.known[r] = false
+			changed = true
+		}
+	}
+	return changed
+}
+
+// cstep advances the constant state across one instruction.
+func cstep(s *cstate, in isa.Inst) {
+	// Compute before killing: the destination may also be a source.
+	var v uint32
+	ok := false
+	switch in.Op {
+	case isa.OpADDI:
+		if b, kb := s.get(in.B); kb {
+			v, ok = b+uint32(in.Imm), true
+		}
+	case isa.OpLUI:
+		v, ok = uint32(in.Imm)<<13, true
+	case isa.OpORI:
+		if b, kb := s.get(in.B); kb {
+			v, ok = b|uint32(in.Imm), true
+		}
+	case isa.OpANDI:
+		if b, kb := s.get(in.B); kb {
+			v, ok = b&uint32(in.Imm), true
+		}
+	case isa.OpXORI:
+		if b, kb := s.get(in.B); kb {
+			v, ok = b^uint32(in.Imm), true
+		}
+	case isa.OpSLLI:
+		if b, kb := s.get(in.B); kb {
+			v, ok = b<<(uint32(in.Imm)&31), true
+		}
+	case isa.OpADD:
+		if b, kb := s.get(in.B); kb {
+			if c, kc := s.get(in.C); kc {
+				v, ok = b+c, true
+			}
+		}
+	case isa.OpSUB:
+		if b, kb := s.get(in.B); kb {
+			if c, kc := s.get(in.C); kc {
+				v, ok = b-c, true
+			}
+		}
+	case isa.OpOR:
+		if b, kb := s.get(in.B); kb {
+			if c, kc := s.get(in.C); kc {
+				v, ok = b|c, true
+			}
+		}
+	}
+	_, defs := isa.RegEffects(in)
+	s.kill(defs)
+	if ok {
+		s.set(in.A, v)
+	}
+}
+
+// solveConsts propagates constants from the entry blocks and returns the
+// per-block entry states; the bool marks blocks the solver visited
+// (unvisited blocks have no trustworthy state).
+func (g *graph) solveConsts() ([]cstate, []bool) {
+	in := make([]cstate, len(g.blocks))
+	have := make([]bool, len(g.blocks))
+	var work []int
+	inWork := make([]bool, len(g.blocks))
+	for _, b := range g.entries {
+		if !have[b] {
+			have[b] = true // entry state: everything unknown
+			work = append(work, b)
+			inWork[b] = true
+		}
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		st := in[b] // copy
+		blk := &g.blocks[b]
+		for i := blk.first; i <= blk.last; i++ {
+			cstep(&st, g.insts[i].in)
+		}
+		for _, e := range g.blocks[b].succs {
+			succ := st // copy per edge
+			if e.extra != 0 {
+				// Call-return edge: the callee may have written any
+				// register, so no constant survives.
+				succ = cstate{}
+			}
+			changed := false
+			if !have[e.to] {
+				have[e.to] = true
+				in[e.to] = succ
+				changed = true
+			} else {
+				changed = in[e.to].meet(&succ)
+			}
+			if changed && !inWork[e.to] {
+				inWork[e.to] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	return in, have
+}

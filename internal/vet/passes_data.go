@@ -1,0 +1,58 @@
+package vet
+
+import (
+	"fmt"
+
+	"cyclops/internal/isa"
+)
+
+// Pass fppair: every pair-typed operand must name an even register so
+// the (base, base+1) double occupies one architectural pair. It runs
+// before uninit and returns the flawed instructions so the dataflow pass
+// does not pile use-before-def noise on top of a mis-paired operand.
+func passFPPair(g *graph, diags *[]Diagnostic) map[uint32]bool {
+	flawed := map[uint32]bool{}
+	for i := range g.insts {
+		in := g.insts[i].in
+		for _, pr := range isa.PairBases(in) {
+			if pr.Reg%2 == 0 {
+				continue
+			}
+			flawed[g.insts[i].pc] = true
+			*diags = append(*diags, Diagnostic{
+				Pass: "fppair", Sev: Error, PC: g.insts[i].pc,
+				Msg: fmt.Sprintf("%s operand %s names odd register r%d; double pairs are (even, odd)",
+					isa.Lookup(in.Op).Name, pr.Name, pr.Reg),
+			})
+		}
+	}
+	return flawed
+}
+
+// Pass uninit: definite-assignment over the CFG. A register read is
+// flagged when some path from an entry reaches it without a write; the
+// kernel ABI seeds (sp and the argument registers) keep conventional
+// prologues quiet. After a report the register is treated as defined so
+// one mistake yields one diagnostic, not one per downstream use.
+func passUninit(g *graph, flawed map[uint32]bool, diags *[]Diagnostic) {
+	in := g.solveDefined()
+	for b := range g.blocks {
+		if !g.reachable[b] {
+			continue
+		}
+		state := in[b]
+		blk := &g.blocks[b]
+		for i := blk.first; i <= blk.last; i++ {
+			uses, defs := instEffects(g.insts[i].in)
+			if !flawed[g.insts[i].pc] {
+				for _, r := range (uses &^ state).Regs() {
+					*diags = append(*diags, Diagnostic{
+						Pass: "uninit", Sev: Error, PC: g.insts[i].pc,
+						Msg: fmt.Sprintf("r%d is read but no path from the entry point writes it first", r),
+					})
+				}
+			}
+			state |= uses | defs
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package vet
+
+import "fmt"
+
+// Pass flow: reachability findings. Unreachable code is a warning (dead
+// functions are sometimes kept on purpose); running off the end of the
+// instruction stream into data or past the image is an error, because
+// the machine would decode whatever bytes come next.
+func passFlow(g *graph, diags *[]Diagnostic) {
+	// Merge address-contiguous runs of unreachable blocks into one
+	// finding per region, so a dead function reports once.
+	for b := 0; b < len(g.blocks); b++ {
+		if g.reachable[b] {
+			continue
+		}
+		first := g.blocks[b].first
+		last := g.blocks[b].last
+		for b+1 < len(g.blocks) && !g.reachable[b+1] &&
+			g.insts[g.blocks[b+1].first].pc == g.insts[last].pc+4 {
+			b++
+			last = g.blocks[b].last
+		}
+		*diags = append(*diags, Diagnostic{
+			Pass: "flow", Sev: Warn, PC: g.insts[first].pc,
+			Msg: fmt.Sprintf("unreachable code (%d instructions)", last-first+1),
+		})
+	}
+	for b := range g.blocks {
+		if g.reachable[b] && g.blocks[b].fallsOff {
+			pc := g.insts[g.blocks[b].last].pc
+			*diags = append(*diags, Diagnostic{
+				Pass: "flow", Sev: Error, PC: pc,
+				Msg: "control falls through the end of the instruction stream into data",
+			})
+		}
+	}
+}
+
+// Pass branch: every static branch or jump must land on an instruction
+// boundary of a real statement. Targets outside the decoded code are
+// errors, as are targets inside a pseudo-instruction expansion (the
+// second word of a la/li is a valid instruction, but never one the
+// programmer wrote).
+func passBranch(g *graph, diags *[]Diagnostic) {
+	for i := range g.insts {
+		in := &g.insts[i]
+		if !in.hasTarget {
+			continue
+		}
+		j, ok := g.index[in.target]
+		if !ok {
+			*diags = append(*diags, Diagnostic{
+				Pass: "branch", Sev: Error, PC: in.pc,
+				Msg: fmt.Sprintf("branch target %#x is not code", in.target),
+			})
+			continue
+		}
+		if t := &g.insts[j]; t.pc != t.stmtAddr {
+			*diags = append(*diags, Diagnostic{
+				Pass: "branch", Sev: Error, PC: in.pc,
+				Msg: fmt.Sprintf("branch target %#x lands inside a pseudo-instruction expansion (statement at %#x)",
+					in.target, t.stmtAddr),
+			})
+		}
+	}
+}

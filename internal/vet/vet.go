@@ -1,0 +1,156 @@
+// Package vet statically analyzes assembled Cyclops guest programs.
+//
+// The repo generates thousands of lines of assembly from Go emitters
+// (stream, the kernel test programs, the examples); a single
+// uninitialized register or a mismatched barrier arrival silently
+// corrupts a figure instead of failing loudly. vet rebuilds a basic-block
+// control-flow graph from an assembled image — using the line table's
+// code/data split, so only real instructions are decoded — and runs a
+// fixed pass pipeline over it:
+//
+//	uninit  use-before-def register dataflow (forward, per-block
+//	        gen/kill with a fixpoint over the CFG, seeded by the
+//	        kernel's entry ABI)
+//	flow    unreachable code and fallthrough off the end of .text
+//	fppair  FP paired-register discipline (odd pair bases)
+//	spr     barrier/SPR protocol (writes to read-only SPRs, barrier
+//	        arrivals never followed by a spin read)
+//	smc     stores whose address is provably inside .text
+//	branch  branch targets outside the image or into the middle of a
+//	        pseudo-instruction expansion
+//
+// Diagnostics are deterministic: sorted by PC, then pass, then message,
+// so golden-file tests can pin exact output.
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cyclops/internal/asm"
+)
+
+// Severity grades a diagnostic. Errors block cyclops-asm -vet output and
+// fail the generator tests; warnings go to stderr and don't block.
+type Severity uint8
+
+const (
+	// Warn flags suspicious but possibly intentional constructs
+	// (unreachable code, release-only barrier arrivals, deliberate
+	// self-modifying stores).
+	Warn Severity = iota
+	// Error flags constructs that are wrong on every execution the
+	// analysis can see.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one vet finding, tied to a program counter and, through
+// the assembler's line table, to a source position.
+type Diagnostic struct {
+	// Pass is the emitting pass id (one of PassIDs).
+	Pass string `json:"pass"`
+	// Sev is the severity.
+	Sev Severity `json:"severity"`
+	// PC is the program counter of the offending instruction.
+	PC uint32 `json:"pc"`
+	// File and Line locate the source statement ("?" and 0 when the
+	// program has no line table entry covering PC).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Msg is the human-readable finding.
+	Msg string `json:"msg"`
+}
+
+// String renders "file:line: severity: [pass] msg (pc 0x118)".
+func (d Diagnostic) String() string {
+	file := d.File
+	if file == "" {
+		file = "?"
+	}
+	return fmt.Sprintf("%s:%d: %s: [%s] %s (pc %#x)", file, d.Line, d.Sev, d.Pass, d.Msg, d.PC)
+}
+
+// PassInfo describes one pass for tooling and coverage assertions.
+type PassInfo struct {
+	ID  string
+	Doc string
+}
+
+// Passes lists the pipeline in execution order. Every pass must have a
+// faulty fixture under examples/faulty/vet/<id>.s; the fixture coverage
+// test enumerates this table.
+var Passes = []PassInfo{
+	{"uninit", "use of a register no path has defined"},
+	{"flow", "unreachable code and fallthrough off the end of .text"},
+	{"fppair", "FP paired-register discipline (odd pair bases)"},
+	{"spr", "SPR/barrier protocol (read-only SPRs, arrival without spin)"},
+	{"smc", "stores whose address is provably inside .text"},
+	{"branch", "branch targets outside code or into a pseudo expansion"},
+}
+
+// Check analyzes an assembled program and returns its diagnostics in
+// deterministic order.
+func Check(p *asm.Program) []Diagnostic {
+	g, diags := buildCFG(p)
+	if g != nil {
+		flawed := passFPPair(g, &diags)
+		passUninit(g, flawed, &diags)
+		passFlow(g, &diags)
+		passBranch(g, &diags)
+		passSPR(g, &diags)
+		passSMC(g, &diags)
+	}
+	for i := range diags {
+		diags[i].File = p.SourceFile()
+		if line, ok := p.Locate(diags[i].PC); ok {
+			diags[i].Line = line
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+	// Dedupe identical findings (e.g. the same PC reached twice).
+	out := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats diagnostics one per line with a trailing newline;
+// empty input renders as the empty string.
+func Render(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

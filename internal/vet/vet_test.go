@@ -1,0 +1,301 @@
+package vet_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cyclops/internal/asm"
+	"cyclops/internal/stream"
+	"cyclops/internal/vet"
+)
+
+func checkSrc(t *testing.T, src string) []vet.Diagnostic {
+	t.Helper()
+	p, err := asm.AssembleNamed("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return vet.Check(p)
+}
+
+// positives maps each pass to a fixture that triggers it and the message
+// substrings expected; every diagnostic the fixture produces must belong
+// to the pass under test, so one bug yields one family of findings.
+var positives = map[string]struct {
+	src  string
+	want []string
+}{
+	"uninit": {
+		src: `
+_start:	mov  r8, r9
+	halt
+`,
+		want: []string{"r9 is read but no path"},
+	},
+	"flow": {
+		src: `
+_start:	j    done
+dead:	nop
+done:	addi r8, r0, 1
+	.word 0
+`,
+		want: []string{"unreachable code (1 instructions)", "falls through the end"},
+	},
+	"fppair": {
+		src: `
+_start:	fsub d34, d34, d34
+	fsub d36, d36, d36
+	fadd r33, r34, r36
+	halt
+`,
+		want: []string{"fadd operand rd names odd register r33"},
+	},
+	"spr": {
+		src: `
+_start:	li    r8, 1
+	mtspr r8, 0
+	mtspr r8, 4
+	halt
+`,
+		want: []string{"read-only SPR 0 (tid)", "never followed by a barrier read"},
+	},
+	"smc": {
+		src: `
+_start:	la   r8, _start
+	li   r9, 7
+	sw   r9, 0(r8)
+	halt
+`,
+		want: []string{"store writes code", "_start"},
+	},
+	"branch": {
+		src: `
+_start:	la   r8, num
+	b    _start+4
+num:	.word 42
+`,
+		want: []string{"inside a pseudo-instruction expansion"},
+	},
+}
+
+func TestPassPositives(t *testing.T) {
+	for _, p := range vet.Passes {
+		fix, ok := positives[p.ID]
+		if !ok {
+			t.Errorf("pass %q has no positive fixture", p.ID)
+			continue
+		}
+		t.Run(p.ID, func(t *testing.T) {
+			diags := checkSrc(t, fix.src)
+			if len(diags) == 0 {
+				t.Fatalf("no diagnostics; want pass %q to fire", p.ID)
+			}
+			all := vet.Render(diags)
+			for _, d := range diags {
+				if d.Pass != p.ID {
+					t.Errorf("unexpected pass %q diagnostic:\n%s", d.Pass, all)
+				}
+				if d.File != "test.s" || d.Line == 0 {
+					t.Errorf("diagnostic not located: %s", d)
+				}
+			}
+			for _, w := range fix.want {
+				if !strings.Contains(all, w) {
+					t.Errorf("diagnostics missing %q:\n%s", w, all)
+				}
+			}
+		})
+	}
+}
+
+// negatives are the clean twins: the same shapes written correctly must
+// produce no diagnostics at all.
+var negatives = map[string]string{
+	"uninit": `
+_start:	li   r9, 1
+	mov  r8, r9
+	halt
+`,
+	"flow": `
+_start:	j    done
+done:	halt
+`,
+	"fppair": `
+_start:	fsub d34, d34, d34
+	fadd d32, d34, d34
+	halt
+`,
+	"spr": `
+_start:	li    r8, 1
+	mtspr r8, 4
+spin:	mfspr r9, 4
+	and   r9, r9, r8
+	bne   r9, r0, spin
+	mfspr r10, 2
+	halt
+`,
+	"smc": `
+_start:	la   r8, buf
+	li   r9, 7
+	sw   r9, 0(r8)
+	halt
+buf:	.word 0
+`,
+	"branch": `
+_start:	la   r8, buf
+	b    next
+next:	halt
+buf:	.word 0
+`,
+}
+
+func TestPassNegatives(t *testing.T) {
+	for _, p := range vet.Passes {
+		src, ok := negatives[p.ID]
+		if !ok {
+			t.Errorf("pass %q has no negative fixture", p.ID)
+			continue
+		}
+		t.Run(p.ID, func(t *testing.T) {
+			if diags := checkSrc(t, src); len(diags) != 0 {
+				t.Errorf("clean program produced diagnostics:\n%s", vet.Render(diags))
+			}
+		})
+	}
+}
+
+// A program exercising every analyzed construct at once — entry ABI,
+// zero idiom, barrier protocol, spawn via materialized address, calls,
+// exit syscalls — must be entirely clean.
+const cleanComprehensive = `
+	.org 0x100
+_start:	mov   r8, a0
+	li    r9, 4
+	la    r10, buf
+	fsub  d32, d32, d32
+loop:	sd    d32, 0(r10)
+	addi  r10, r10, 8
+	addi  r9, r9, -1
+	bne   r9, r0, loop
+	li    r8, 1
+	mtspr r8, 4
+spin:	mfspr r11, 4
+	and   r11, r11, r8
+	bne   r11, r0, spin
+	la    a1, worker
+	li    a0, 3
+	syscall
+	call  fn
+	li    a0, 0
+	syscall
+worker:	mov   r12, a0
+	li    a0, 0
+	syscall
+fn:	addi  a0, a0, 1
+	ret
+	.align 8
+buf:	.space 64
+`
+
+func TestCleanComprehensive(t *testing.T) {
+	if diags := checkSrc(t, cleanComprehensive); len(diags) != 0 {
+		t.Errorf("comprehensive program produced diagnostics:\n%s", vet.Render(diags))
+	}
+}
+
+func TestEntryNotCode(t *testing.T) {
+	diags := checkSrc(t, `
+lab:	nop
+	halt
+_start:	.word 0
+`)
+	if len(diags) != 1 || diags[0].Pass != "flow" || diags[0].Sev != vet.Error ||
+		!strings.Contains(diags[0].Msg, "entry point") {
+		t.Errorf("diagnostics = %v, want one flow error about the entry point", diags)
+	}
+}
+
+func TestDataOnlyProgram(t *testing.T) {
+	if diags := checkSrc(t, "buf:\t.word 1, 2, 3\n"); len(diags) != 0 {
+		t.Errorf("data-only program produced diagnostics:\n%s", vet.Render(diags))
+	}
+}
+
+// Diagnostics must be byte-stable across runs so golden tests can pin
+// them exactly.
+func TestDeterministicOutput(t *testing.T) {
+	src := positives["spr"].src + "\nextra:\tmov r20, r21\n\tj extra\n"
+	var first []vet.Diagnostic
+	var rendered string
+	for i := 0; i < 5; i++ {
+		diags := checkSrc(t, src)
+		if i == 0 {
+			first = diags
+			rendered = vet.Render(diags)
+			continue
+		}
+		if !reflect.DeepEqual(diags, first) || vet.Render(diags) != rendered {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i, vet.Render(diags), rendered)
+		}
+	}
+}
+
+// The motivating scenario (EXPERIMENTS.md "Vet"): a generator bug that
+// drops the STREAM scalar load. The program still assembles and, because
+// the kernel zeroes registers at boot, still runs — Triad just computes
+// a[i] = b[i] + 0*c[i] and reports plausible-looking bandwidth. Vet
+// catches the dead read statically, before a single cycle is simulated.
+func TestSeededGeneratorBugCaught(t *testing.T) {
+	src, err := stream.Generate(stream.Params{Kernel: stream.Triad, N: 64, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "ld   d60, 0(r9)") {
+		t.Fatal("generator no longer emits the scalar load; update the seeded bug")
+	}
+	buggy := strings.Replace(src, "ld   d60, 0(r9)", "nop", 1)
+
+	p, err := asm.AssembleNamed("triad-buggy.s", buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := vet.Check(p)
+	if !vet.HasErrors(diags) {
+		t.Fatalf("seeded bug not caught; diagnostics:\n%s", vet.Render(diags))
+	}
+	found := false
+	for _, d := range diags {
+		if d.Pass == "uninit" && strings.Contains(d.Msg, "r60") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no uninit finding for the dropped scalar pair:\n%s", vet.Render(diags))
+	}
+
+	// The pristine generator output stays clean.
+	clean, err := asm.AssembleNamed("triad.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := vet.Check(clean); len(diags) != 0 {
+		t.Errorf("pristine Triad produced diagnostics:\n%s", vet.Render(diags))
+	}
+}
+
+func TestDiagnosticStringAndHelpers(t *testing.T) {
+	d := vet.Diagnostic{Pass: "uninit", Sev: vet.Error, PC: 0x118, File: "k.s", Line: 7, Msg: "r9 bad"}
+	if got, want := d.String(), "k.s:7: error: [uninit] r9 bad (pc 0x118)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if vet.HasErrors([]vet.Diagnostic{{Sev: vet.Warn}}) {
+		t.Error("HasErrors(warn-only) = true")
+	}
+	if !vet.HasErrors([]vet.Diagnostic{{Sev: vet.Warn}, {Sev: vet.Error}}) {
+		t.Error("HasErrors(with error) = false")
+	}
+	if vet.Render(nil) != "" {
+		t.Error("Render(nil) must be empty")
+	}
+}

@@ -1,0 +1,135 @@
+package cyclops_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cyclops/internal/asm"
+	"cyclops/internal/stream"
+	"cyclops/internal/vet"
+)
+
+// The faulty fixtures are the analyzer's showcase: one source per pass
+// under examples/faulty/vet/, each seeded with exactly the bug family
+// its pass detects. This test is also the coverage assertion — a pass
+// added to vet.Passes without a fixture fails here — and the golden
+// check pins the exact rendered diagnostics byte-for-byte.
+func TestVetFixturesGolden(t *testing.T) {
+	var rendered strings.Builder
+	for _, pass := range vet.Passes {
+		path := "examples/faulty/vet/" + pass.ID + ".s"
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("pass %q has no fixture: %v", pass.ID, err)
+		}
+		p, err := asm.AssembleNamed(path, string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		diags := vet.Check(p)
+		if len(diags) == 0 {
+			t.Errorf("%s: no diagnostics; the fixture must trigger pass %q", path, pass.ID)
+		}
+		for _, d := range diags {
+			if d.Pass != pass.ID {
+				t.Errorf("%s: stray %q diagnostic: %s", path, d.Pass, d)
+			}
+		}
+		rendered.WriteString(vet.Render(diags))
+	}
+	golden, err := os.ReadFile("examples/faulty/vet/golden.txt")
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	if rendered.String() != string(golden) {
+		t.Errorf("diagnostics diverge from golden.txt:\n--- got ---\n%s--- want ---\n%s",
+			rendered.String(), golden)
+	}
+}
+
+// vetCleanSource checks one shipped program for error-severity findings;
+// warnings are logged (the out-of-core example's release-only barrier
+// arrival is a legitimate warning).
+func vetCleanSource(t *testing.T, name, src string) {
+	t.Helper()
+	p, err := asm.AssembleNamed(name, src)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for _, d := range vet.Check(p) {
+		if d.Sev == vet.Error {
+			t.Errorf("%s: %s", name, d)
+		} else {
+			t.Logf("%s: %s", name, d)
+		}
+	}
+}
+
+// Every program the repo generates or ships must be vet-clean at error
+// severity: the full STREAM generator matrix at tiny sizes plus the
+// assembly-embedding examples. (The splash kernels are direct-execution
+// Go; they have no assembly for vet to read.)
+func TestVetGeneratedPrograms(t *testing.T) {
+	for _, k := range stream.Kernels {
+		for _, part := range []stream.Partition{stream.Blocked, stream.Cyclic} {
+			for _, unroll := range []int{1, 4} {
+				if unroll > 1 && part == stream.Cyclic {
+					continue // the paper unrolls only the blocked variants
+				}
+				for _, local := range []bool{false, true} {
+					if local && part == stream.Cyclic {
+						continue // cyclic needs the shared cache mode
+					}
+					par := stream.Params{
+						Kernel: k, N: 128, Threads: 4,
+						Partition: part, Unroll: unroll, Local: local,
+					}
+					name := strings.ToLower(k.String()) + "-" + part.String()
+					src, err := stream.Generate(par)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					vetCleanSource(t, name+".s", src)
+				}
+			}
+		}
+		// The Figure 4b independent variant has its own code shape.
+		src, err := stream.Generate(stream.Params{
+			Kernel: k, N: 64, Threads: 4, Independent: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vetCleanSource(t, strings.ToLower(k.String())+"-independent.s", src)
+	}
+
+	for _, dir := range []string{"quickstart", "outofcore"} {
+		vetCleanSource(t, dir+".s", exampleSrc(t, dir))
+	}
+}
+
+// The diagnostics must not depend on test parallelism or run order: the
+// same fixture checked concurrently from many goroutines renders
+// identically every time.
+func TestVetParallelDeterminism(t *testing.T) {
+	data, err := os.ReadFile("examples/faulty/vet/spr.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := asm.AssembleNamed("spr.s", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vet.Render(vet.Check(p))
+	for i := 0; i < 8; i++ {
+		t.Run("worker", func(t *testing.T) {
+			t.Parallel()
+			for j := 0; j < 25; j++ {
+				if got := vet.Render(vet.Check(p)); got != want {
+					t.Fatalf("render diverged:\n%s\nvs\n%s", got, want)
+				}
+			}
+		})
+	}
+}
