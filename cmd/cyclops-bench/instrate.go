@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cyclops/internal/harness/instrate"
+)
+
+// runInstrate measures the per-engine instruction rate (median of
+// -samples runs of the dispatch-bound benchmark loop) and prints a
+// table. With -bench-json it appends the measurement as a new entry of
+// the BENCH_sim.json trajectory, tagged -bench-id.
+func runInstrate(samples int, jsonPath, id, note string) error {
+	results, err := instrate.Measure(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instruction rate, median of %d (loop of %d instructions, %d cycles):\n",
+		samples, results[0].Insts, results[0].Cycles)
+	fmt.Println("engine     simMIPS   ns/run")
+	for _, r := range results {
+		fmt.Printf("%-8s  %8.2f  %8d\n", r.Engine, r.SimMIPS, r.NsPerRun)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := instrate.Load(jsonPath)
+	if os.IsNotExist(err) {
+		f = &instrate.File{Benchmark: "BenchmarkSimInstructionRate"}
+	} else if err != nil {
+		return err
+	}
+	e := instrate.NewEntry(id, samples, results)
+	e.Note = note
+	f.Entries = append(f.Entries, e)
+	if err := f.Save(jsonPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cyclops-bench: appended entry %q to %s (%d entries)\n",
+		id, jsonPath, len(f.Entries))
+	return nil
+}

@@ -6,12 +6,18 @@
 //	cyclops-bench -list
 //	cyclops-bench -run fig4a,fig7a [-scale full] [-csv outdir]
 //	cyclops-bench -all -scale full [-parallel N]
+//	cyclops-bench -instrate [-samples N] [-bench-json BENCH_sim.json -bench-id pr6]
 //
 // Every experiment point is an independent deterministic simulation, so
 // the sweeps fan out across -parallel workers (default: all CPUs) and the
 // experiments themselves run concurrently. Tables print to stdout in
-// input order and are byte-identical for any -parallel value; timing and
-// errors go to stderr.
+// input order and are byte-identical for any -parallel value — and for
+// any -engine, which selects the execution engine (block, decoded or
+// legacy) the sweeps simulate on; the engines differ only in host-side
+// speed. -instrate measures exactly that difference: the median
+// simulated-MIPS of each engine on a dispatch-bound loop, appendable as
+// one entry of the BENCH_sim.json trajectory. Timing and errors go to
+// stderr.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"cyclops/internal/harness"
 	"cyclops/internal/harness/sweep"
+	"cyclops/internal/sim"
 )
 
 // result is one finished experiment: its rendered table or its error.
@@ -42,7 +49,29 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep worker pool size (1 = fully serial)")
 	stats := flag.Bool("stats", false, "report the run/stall cycle breakdown for STREAM and FFT (shorthand for -run breakdown)")
+	engineStr := flag.String("engine", sim.DefaultEngine().String(), "execution engine for the sweeps: block, decoded or legacy")
+	instrate := flag.Bool("instrate", false, "measure the per-engine host-side instruction rate (simMIPS) instead of running experiments")
+	samples := flag.Int("samples", 5, "with -instrate: samples per engine (the median is reported)")
+	benchJSON := flag.String("bench-json", "", "with -instrate: append the measurement to this BENCH_sim.json trajectory file")
+	benchID := flag.String("bench-id", "", "with -instrate -bench-json: id tag for the appended entry")
+	benchNote := flag.String("bench-note", "", "with -instrate -bench-json: free-form note for the appended entry")
 	flag.Parse()
+
+	engine, err := sim.ParseEngine(*engineStr)
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetDefaultEngine(engine)
+
+	if *instrate {
+		if *benchJSON != "" && *benchID == "" {
+			fatal(fmt.Errorf("-bench-json needs -bench-id to tag the appended entry"))
+		}
+		if err := runInstrate(*samples, *benchJSON, *benchID, *benchNote); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {

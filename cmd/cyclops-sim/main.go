@@ -16,7 +16,9 @@
 // `go tool pprof`; -timeline-out writes the interval telemetry timeline
 // as CSV (or JSON when the file ends in .json). Every output file is
 // created up front, so a bad path fails before the simulation runs
-// rather than after.
+// rather than after. -engine selects the execution engine (block,
+// decoded or legacy); all three are cycle-exact, they differ only in
+// host-side speed.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"cyclops/internal/obs"
 	"cyclops/internal/prof"
 	"cyclops/internal/sim"
+	"cyclops/internal/vet"
 )
 
 func main() {
@@ -47,9 +50,15 @@ func main() {
 	sampleEvery := flag.Uint64("sample-every", 64, "profiler sampling interval in simulated cycles per thread")
 	timelineOut := flag.String("timeline-out", "", "write the interval telemetry timeline to this file (.json = JSON, else CSV; - = stdout)")
 	timelineEvery := flag.Uint64("timeline-every", 4096, "telemetry timeline interval in simulated cycles")
+	engine := flag.String("engine", sim.DefaultEngine().String(), "execution engine: block, decoded or legacy")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-engine E] [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
+		os.Exit(2)
+	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
 		os.Exit(2)
 	}
 	opts := options{
@@ -57,6 +66,7 @@ func main() {
 		statsJSON: *statsJSON, trace: *trace, traceOut: *traceOut,
 		profileOut: *profileOut, sampleEvery: *sampleEvery,
 		timelineOut: *timelineOut, timelineEvery: *timelineEvery,
+		engine: eng,
 	}
 	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
@@ -71,6 +81,7 @@ type options struct {
 	trace                      int
 	profileOut, timelineOut    string
 	sampleEvery, timelineEvery uint64
+	engine                     sim.Engine
 }
 
 // traceBufferLen sizes the ring when only -trace-out asks for tracing: big
@@ -116,6 +127,7 @@ func run(path string, o options) error {
 	if o.balanced {
 		k.Policy = kernel.Balanced
 	}
+	k.Machine().SetEngine(o.engine)
 	k.Machine().MaxCycles = o.maxCycles
 	if o.trace > 0 {
 		k.Machine().Trace = sim.NewTraceBuffer(o.trace)
@@ -141,6 +153,10 @@ func run(path string, o options) error {
 	if err := k.Boot(prog); err != nil {
 		return err
 	}
+	// Warm the block engine's code cache from the program's static CFG
+	// (the other engines ignore this). Purely host-side: lazily compiled
+	// blocks would behave identically.
+	k.Machine().Precompile(vet.Leaders(prog))
 	runErr := k.Run()
 	os.Stdout.Write(k.Output)
 	if o.trace > 0 {

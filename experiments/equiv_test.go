@@ -26,22 +26,25 @@ func render(t *testing.T) map[string]string {
 	return out
 }
 
-// TestEngineEquivalence checks that the event-driven scheduler with the
-// decoded-instruction cache produces byte-identical tables to the seed
-// interpreter loop for every experiment. This is the contract that lets
-// the optimized engine replace the original: same cycle counts, same
-// stats, same rendered output.
+// TestEngineEquivalence checks that all three execution engines — the
+// seed interpreter, the decoded-cache event-driven engine, and the
+// block-compiling engine — produce byte-identical tables for every
+// experiment. This is the contract that lets the fast tiers replace the
+// original: same cycle counts, same stats, same rendered output.
 func TestEngineEquivalence(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs every experiment twice")
+		t.Skip("runs every experiment once per engine")
 	}
-	sim.LegacyEngine = true
+	prev := sim.SetDefaultEngine(sim.EngineLegacy)
+	defer sim.SetDefaultEngine(prev)
 	legacy := render(t)
-	sim.LegacyEngine = false
-	fast := render(t)
-	for id, want := range legacy {
-		if got := fast[id]; got != want {
-			t.Errorf("%s: optimized engine output differs from seed engine\n--- seed ---\n%s--- optimized ---\n%s", id, want, got)
+	for _, e := range []sim.Engine{sim.EngineDecoded, sim.EngineBlock} {
+		sim.SetDefaultEngine(e)
+		fast := render(t)
+		for id, want := range legacy {
+			if got := fast[id]; got != want {
+				t.Errorf("%s: %s engine output differs from seed engine\n--- seed ---\n%s--- %s ---\n%s", id, e, want, e, got)
+			}
 		}
 	}
 }

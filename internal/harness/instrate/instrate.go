@@ -1,0 +1,195 @@
+// Package instrate measures the simulator's host-side instruction rate
+// (simMIPS) per execution engine, using the same tight arithmetic loop
+// as BenchmarkSimInstructionRate. cmd/cyclops-bench exposes it as
+// -instrate; the CI bench-smoke lane uses it as a regression and
+// equivalence gate. Results append to BENCH_sim.json, whose entries
+// record the engine trajectory across PRs.
+package instrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/asm"
+	"cyclops/internal/core"
+	"cyclops/internal/kernel"
+	"cyclops/internal/sim"
+)
+
+// loopSrc is the measured workload: the BenchmarkSimInstructionRate
+// loop — four dependent integer instructions per iteration, the
+// dispatch-bound worst case for a cycle-exact simulator.
+const loopSrc = `
+	li   r8, 200000
+loop:	addi r8, r8, -1
+	add  r9, r9, r8
+	xor  r10, r9, r8
+	bne  r8, r0, loop
+	halt
+	`
+
+// Result is one engine's measurement: the median of the per-sample
+// rates, plus the simulated totals every engine must agree on.
+type Result struct {
+	Engine   sim.Engine
+	SimMIPS  float64 // median over samples
+	NsPerRun uint64  // median wall time of one boot+run
+	Cycles   uint64  // simulated cycles (engine-invariant)
+	Insts    uint64  // simulated instructions (engine-invariant)
+}
+
+// Measure runs the loop program `samples` times on every engine and
+// returns per-engine medians, fastest engine first. It errors if any
+// engine disagrees on simulated cycles or instructions — the
+// equivalence contract, checked on every benchmark run.
+func Measure(samples int) ([]Result, error) {
+	if samples < 1 {
+		samples = 1
+	}
+	prog, err := asm.Assemble(loopSrc)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, e := range sim.Engines() {
+		rates := make([]float64, 0, samples)
+		times := make([]uint64, 0, samples)
+		var cycles, insts uint64
+		for s := 0; s < samples; s++ {
+			chip, err := core.NewChip(arch.Default())
+			if err != nil {
+				return nil, err
+			}
+			k := kernel.New(chip)
+			k.Machine().SetEngine(e)
+			k.Machine().MaxCycles = 1_000_000_000
+			t0 := time.Now()
+			if err := k.Boot(prog); err != nil {
+				return nil, err
+			}
+			if err := k.Run(); err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(t0)
+			cycles = k.Machine().Cycle()
+			insts = k.Machine().TotalInsts()
+			rates = append(rates, float64(insts)/elapsed.Seconds()/1e6)
+			times = append(times, uint64(elapsed.Nanoseconds()))
+		}
+		sort.Float64s(rates)
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		results = append(results, Result{
+			Engine:   e,
+			SimMIPS:  rates[len(rates)/2],
+			NsPerRun: times[len(times)/2],
+			Cycles:   cycles,
+			Insts:    insts,
+		})
+	}
+	for _, r := range results[1:] {
+		if r.Cycles != results[0].Cycles || r.Insts != results[0].Insts {
+			return nil, fmt.Errorf(
+				"instrate: engine equivalence broken: %s ran %d cycles / %d insts, %s ran %d cycles / %d insts",
+				results[0].Engine, results[0].Cycles, results[0].Insts,
+				r.Engine, r.Cycles, r.Insts)
+		}
+	}
+	return results, nil
+}
+
+// Rate is one engine's recorded rate in a BENCH_sim.json entry.
+type Rate struct {
+	SimMIPS  float64 `json:"simMIPS"`
+	NsPerRun uint64  `json:"ns_per_run,omitempty"`
+}
+
+// Entry is one point of the BENCH_sim.json trajectory: the per-engine
+// rates measured on one host at one point in the repo's history.
+type Entry struct {
+	ID                    string          `json:"id"`
+	HostCPU               string          `json:"host_cpu,omitempty"`
+	Go                    string          `json:"go,omitempty"`
+	Samples               int             `json:"samples,omitempty"`
+	Engines               map[string]Rate `json:"engines"`
+	SpeedupBlockVsDecoded float64         `json:"speedup_block_vs_decoded,omitempty"`
+	Note                  string          `json:"note,omitempty"`
+}
+
+// File is the BENCH_sim.json schema: fixed metadata plus the
+// append-only trajectory.
+type File struct {
+	Benchmark   string  `json:"benchmark"`
+	Method      string  `json:"method,omitempty"`
+	Equivalence string  `json:"equivalence,omitempty"`
+	Entries     []Entry `json:"entries"`
+}
+
+// Load reads a BENCH_sim.json trajectory file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Save writes the trajectory back, indented, with a trailing newline.
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NewEntry converts a measurement into a trajectory entry.
+func NewEntry(id string, samples int, results []Result) Entry {
+	e := Entry{
+		ID:      id,
+		HostCPU: hostCPU(),
+		Go:      runtime.Version(),
+		Samples: samples,
+		Engines: make(map[string]Rate, len(results)),
+	}
+	var block, decoded float64
+	for _, r := range results {
+		e.Engines[r.Engine.String()] = Rate{SimMIPS: round2(r.SimMIPS), NsPerRun: r.NsPerRun}
+		switch r.Engine {
+		case sim.EngineBlock:
+			block = r.SimMIPS
+		case sim.EngineDecoded:
+			decoded = r.SimMIPS
+		}
+	}
+	if block > 0 && decoded > 0 {
+		e.SpeedupBlockVsDecoded = round2(block / decoded)
+	}
+	return e
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+// hostCPU returns the host's CPU model name, best-effort ("" when
+// unavailable, e.g. off Linux).
+func hostCPU() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -283,6 +283,24 @@ func InfoRef(op Op) *Info {
 // String returns the mnemonic.
 func (op Op) String() string { return Lookup(op).Name }
 
+// EndsBlock reports whether in terminates a basic block: branches and
+// jumps redirect control, jalr's target is dynamic, halt stops the
+// thread, and syscall may halt it or start others. This is the one
+// block-boundary definition shared by the static analyzer's CFG
+// construction (internal/vet) and the simulator's block compiler
+// (internal/sim), so both agree on what a leader is by construction.
+func EndsBlock(in Inst) bool {
+	switch Lookup(in.Op).Format {
+	case FmtB, FmtJ:
+		return true
+	}
+	switch in.Op {
+	case OpJALR, OpHALT, OpSYSCALL:
+		return true
+	}
+	return false
+}
+
 // ByName resolves a mnemonic to its Op; ok is false for unknown mnemonics.
 func ByName(name string) (op Op, ok bool) {
 	o, ok := byName[name]

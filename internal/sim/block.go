@@ -1,0 +1,1045 @@
+package sim
+
+import (
+	"fmt"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/isa"
+	"cyclops/internal/obs"
+	"cyclops/internal/timing"
+)
+
+// The block-compiling engine. The decoded engine still pays one trip
+// through the big issue switch per instruction; for long-lived loops
+// that dispatch is the dominant host-side cost. This engine discovers
+// basic blocks at runtime (block boundaries are isa.EndsBlock, the same
+// definition internal/vet's CFG uses for leaders), translates each block
+// once into a slice of pre-bound Go closures — threaded code — and runs
+// closure after closure, block after block, without returning to the
+// scheduler, for as long as the thread unit is provably the only one
+// due. The hot ops (single-cycle ALU, conditional branches, lw/ld/sw)
+// compile to fully specialized closures: one indirect call per
+// instruction, everything else straight-line. Adjacent pairs led by a
+// fall-through op additionally compile to fused superinstructions that
+// commit two issues per dispatch — that covers lui+ori, addi+bne,
+// ld+fma and every other back-to-back idiom.
+//
+// Timing stays exact by construction, not by approximation:
+//
+//   - Every closure drives the shared timing.Ledger exactly as the
+//     per-issue engines do (ChargeRun, WaitReady, ChargeMemStall,
+//     ObserveAccess), so every table, snapshot and profile is
+//     byte-identical across engines.
+//   - Ops are 1:1 with instructions — a block never commits more than
+//     the per-issue engines would. Each issue attempt replicates one
+//     scheduler iteration: inline continuation advances m.cycle, bumps
+//     the round-robin counter and ticks the timeline exactly as a trip
+//     through Run's outer loop would, and is only taken when the event
+//     queue proves no other unit is due first.
+//   - Multi-unit batches fall back to one issue per unit per cycle, the
+//     decoded engine's exact regime, so contention, tie order and
+//     compaction are untouched.
+//   - Fused superinstructions bypass the per-attempt observability
+//     hooks, so they are compiled in but only dispatched when no tracer,
+//     profiler sampler or timeline is attached; each re-checks the
+//     inline conditions itself and commits only its first instruction
+//     when the second may not run this dispatch.
+//
+// Compiled blocks invalidate with the decode cache: both sit behind
+// mem.WatchCode's code-generation counter, checked before any op that
+// follows a possible memory write, so self-modifying stores, DMA
+// reloads and program reloads flush blocks exactly when they flush
+// decodings (see flushDecode).
+
+// opFn executes one issue attempt at cycle; the closure performs the
+// instruction's scoreboard wait, charges, effects and PC advance. It
+// returns true only when the instruction committed, fell through to
+// pc+4 AND could not have written memory — the conditions under which a
+// fused successor may issue without another trip through the dispatch
+// loop, and the code-generation re-check may be skipped. Stalls, traps,
+// taken branches, stores and generic ops report false.
+type opFn func(m *Machine, tu *TU, cycle uint64) bool
+
+// fusedFn is a superinstruction: it always commits its first
+// instruction, and commits the second only after fuseStep proves the
+// unit is still alone and books the scheduler iteration. The returned
+// bool has opFn's meaning, for whichever instruction ran last.
+type fusedFn func(m *Machine, tu *TU, cycle, limit uint64) bool
+
+// blockOp is one compiled instruction slot. fn is always set; fused,
+// when non-nil, is the superinstruction starting at this slot.
+type blockOp struct {
+	fn    opFn
+	fused fusedFn
+}
+
+// simBlock is one compiled basic block covering text [base, end).
+type simBlock struct {
+	base, end uint32
+	ops       []blockOp
+}
+
+// maxBlockOps caps a block when no isa.EndsBlock instruction shows up
+// (straight-line code running into data); continuation past the cap just
+// enters the next block.
+const maxBlockOps = 256
+
+// runBlock is the block engine's scheduler: the decoded engine's
+// event-driven loop, with stepBlock in place of step. A batch of one —
+// the steady state of any single-thread phase — lifts the issue limit so
+// stepBlock runs whole blocks inline; multi-unit batches issue exactly
+// one instruction per unit, preserving contention and tie order
+// bit-for-bit.
+func (m *Machine) runBlock() error {
+	for len(m.active) > 0 && m.trap == nil {
+		// Advance to the earliest pending issue cycle.
+		m.cycle = m.eq.min().nextAt
+		if m.MaxCycles > 0 && m.cycle > m.MaxCycles {
+			return fmt.Errorf("sim: cycle limit %d exceeded", m.MaxCycles)
+		}
+		m.tickTimeline()
+		m.batch = m.batch[:0]
+		for m.eq.Len() > 0 && m.eq.min().nextAt == m.cycle {
+			m.batch = append(m.batch, m.eq.pop())
+		}
+		n := len(m.active)
+		m.rr++
+		m.sortBatch(n)
+		limit := m.cycle
+		if len(m.batch) == 1 {
+			limit = ^uint64(0)
+		}
+		anyHalted := false
+		for bi, tu := range m.batch {
+			m.stepBlock(tu, limit)
+			if tu.State == Running {
+				m.eq.push(tu)
+			} else {
+				anyHalted = true
+			}
+			if m.trap != nil {
+				// Requeue the units this batch never reached.
+				for _, rest := range m.batch[bi+1:] {
+					m.eq.push(rest)
+				}
+				break
+			}
+		}
+		if anyHalted {
+			m.compact()
+		}
+	}
+	m.finishTimeline()
+	return m.trap
+}
+
+// stepBlock issues instructions for tu starting at the current cycle and
+// continues inline — op after op, block after block — while the issue
+// limit and the event queue allow it. limit is the first cycle the unit
+// may NOT issue at inline (the batch cycle itself when other units
+// issued this cycle; unbounded when the unit is alone).
+func (m *Machine) stepBlock(tu *TU, limit uint64) {
+	memory := m.Chip.Mem
+	tl := m.TL
+	// Fused superinstructions skip the per-attempt observability hooks
+	// (SetPC, trace records, timeline ticks), so they dispatch only when
+	// none of those observers is attached.
+	fuse := m.Trace == nil && tl == nil && !(obs.Enabled && tu.Samp != nil)
+	blk := tu.blk
+	// clean is opFn's contract: the last op provably wrote no memory, so
+	// the code generation cannot have moved and need not be re-read.
+	// Entry from the scheduler is never clean — another unit's batch may
+	// have stored into text.
+	clean := false
+	for {
+		if !clean {
+			if g := memory.CodeGen(); g != m.decGen {
+				m.decGen = g
+				m.flushDecode()
+				blk = nil
+			}
+		}
+		pc := tu.PC
+		if obs.Enabled && tu.Samp != nil {
+			tu.Samp.SetPC(pc)
+		}
+		if tu.pib.contains(pc) {
+			if blk == nil || pc-blk.base >= blk.end-blk.base {
+				blk = m.blockFor(pc)
+				tu.blk = blk
+			}
+			op := &blk.ops[(pc-blk.base)>>2]
+			if fuse && op.fused != nil {
+				clean = op.fused(m, tu, m.cycle, limit)
+			} else {
+				clean = op.fn(m, tu, m.cycle)
+			}
+			if m.trap != nil || tu.State != Running {
+				return
+			}
+		} else {
+			m.fetchPIB(tu, m.cycle)
+			clean = true // a PIB refill only reads memory
+		}
+		// Inline continuation: replicate one trip through the scheduler's
+		// outer loop, legal only when this unit is provably the next (and
+		// only) one due. Every attempt above advanced nextAt past the
+		// cycle it issued at, so each inline step is exactly one
+		// scheduler iteration: same cycle advance, same round-robin
+		// increment, same timeline tick.
+		next := tu.nextAt
+		if next >= limit {
+			return
+		}
+		if m.eq.Len() > 0 && m.eq.min().nextAt <= next {
+			return
+		}
+		if m.MaxCycles > 0 && next > m.MaxCycles {
+			// The outer loop raises the identical cycle-limit error.
+			return
+		}
+		m.cycle = next
+		m.rr++
+		if tl != nil {
+			m.tickTimeline()
+		}
+	}
+}
+
+// fuseStep books the scheduler iteration a fused pair's second issue
+// occupies: legal only when the unit is still the only one due at c2 and
+// the cycle limit is unreached. The dispatcher already verified no
+// timeline is attached, so no tick is needed here.
+func (m *Machine) fuseStep(c2, limit uint64) bool {
+	if c2 >= limit {
+		return false
+	}
+	if m.eq.Len() > 0 && m.eq.min().nextAt <= c2 {
+		return false
+	}
+	if m.MaxCycles > 0 && c2 > m.MaxCycles {
+		return false
+	}
+	m.cycle = c2
+	m.rr++
+	return true
+}
+
+// blockFor returns (compiling on demand) the block whose base is pc.
+// Mid-block jump targets simply compile an overlapping suffix block —
+// the ops are position-independent, so the duplication is memory, not
+// semantics.
+func (m *Machine) blockFor(pc uint32) *simBlock {
+	if b := m.blocks[pc]; b != nil {
+		return b
+	}
+	b := m.compileBlock(pc)
+	if m.blocks == nil {
+		m.blocks = make(map[uint32]*simBlock)
+	}
+	m.blocks[pc] = b
+	return b
+}
+
+// Precompile compiles blocks for the given leader PCs (typically
+// vet.Leaders of the loaded program) ahead of execution. Compilation has
+// no timing effect — it only fills host-side caches — so this is purely
+// a warm-up; lazily discovered blocks behave identically. Engines other
+// than the block engine ignore it.
+func (m *Machine) Precompile(pcs []uint32) {
+	if m.engine != EngineBlock {
+		return
+	}
+	if g := m.Chip.Mem.CodeGen(); g != m.decGen {
+		m.decGen = g
+		m.flushDecode()
+	}
+	for _, pc := range pcs {
+		if pc%4 == 0 {
+			m.blockFor(pc)
+		}
+	}
+}
+
+// compileBlock translates the straight-line run starting at base into
+// ops, stopping after the first isa.EndsBlock instruction, at the first
+// unfetchable or illegal word (compiled to a trap op that fires only if
+// execution reaches it), or at the op cap.
+func (m *Machine) compileBlock(base uint32) *simBlock {
+	m.blockCompiles++
+	b := &simBlock{base: base}
+	var ents []*decEntry
+	pc := base
+	for len(b.ops) < maxBlockOps {
+		e, word, err := m.decodeAt(pc)
+		if e == nil {
+			b.ops = append(b.ops, blockOp{fn: trapOp(pc, word, err)})
+			ents = append(ents, nil)
+			break
+		}
+		b.ops = append(b.ops, blockOp{fn: m.compileOp(pc, e)})
+		ents = append(ents, e)
+		if isa.EndsBlock(e.in) {
+			break
+		}
+		pc += 4
+	}
+	b.end = base + uint32(4*len(b.ops))
+	// Superinstruction pass: any run of ops whose leading members are
+	// fuse leaders — ops that can commit a fall-through without writing
+	// memory — becomes a superinstruction of up to maxFuse issues; the
+	// final member is arbitrary. Chains may overlap (every leader slot
+	// starts its own); the dispatcher naturally enters whichever slot
+	// execution reaches, so a mid-chain branch target loses nothing.
+	fns := make([]opFn, len(b.ops))
+	for i := range b.ops {
+		fns[i] = b.ops[i].fn
+	}
+	for i := 0; i+1 < len(b.ops); i++ {
+		if ents[i] == nil || ents[i+1] == nil || !canLeadFuse(ents[i].in) {
+			continue
+		}
+		j := i + 1
+		for j+1 < len(b.ops) && j-i+1 < maxFuse && ents[j+1] != nil && canLeadFuse(ents[j].in) {
+			j++
+		}
+		b.ops[i].fused = fuseChain(fns[i : j+1])
+	}
+	return b
+}
+
+// maxFuse caps a superinstruction's length; longer straight runs simply
+// chain superinstructions across dispatches.
+const maxFuse = 8
+
+// fuseChain composes a run of compiled ops into a superinstruction. All
+// ops but the last are fuse leaders (canLeadFuse): each returns true
+// only when it committed, fell through and wrote no memory — so the
+// next issue may skip the dispatch loop's per-attempt hooks (all gated
+// off by the dispatcher) and the code-generation re-check. The final op
+// is arbitrary: every op performs its own scoreboard wait and charges,
+// so a dependent instruction mid-chain commits its predecessors plus
+// its own dep stall, exactly as the plain path would, and issues on a
+// later dispatch.
+func fuseChain(ops []opFn) fusedFn {
+	return func(m *Machine, tu *TU, cyc, limit uint64) bool {
+		if !ops[0](m, tu, cyc) {
+			return true // fuse leaders never write memory, even on false
+		}
+		for k := 1; k < len(ops); k++ {
+			c := tu.nextAt
+			if !tu.pib.contains(tu.PC) || !m.fuseStep(c, limit) {
+				return true // committed exactly the plain ops' state
+			}
+			if ok := ops[k](m, tu, c); !ok {
+				// A false from a leader is a stall, trap or taken
+				// branch — never a write. A false from the final op may
+				// be a store or a generic issue: not clean.
+				return k != len(ops)-1
+			}
+		}
+		return true
+	}
+}
+
+// canLeadFuse reports whether in can lead a superinstruction: its
+// compiled op never writes memory and reports fall-through commits
+// (single-cycle ALU ops, lw/ld, and conditional branches on their
+// not-taken path). Stores write, jumps always redirect, and everything
+// generic may do either — none can lead.
+func canLeadFuse(in isa.Inst) bool {
+	switch in.Op {
+	case isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpNOR,
+		isa.OpSLL, isa.OpSRL, isa.OpSRA, isa.OpSLT, isa.OpSLTU,
+		isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+		isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI, isa.OpSLTIU,
+		isa.OpLUI, isa.OpLW, isa.OpLD,
+		isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		return true
+	}
+	return false
+}
+
+// trapOp reproduces the per-issue fetch path's trap lazily: compilation
+// runs ahead of execution, so an illegal word only traps if the program
+// actually reaches it.
+func trapOp(pc, word uint32, err error) opFn {
+	return func(m *Machine, tu *TU, cycle uint64) bool {
+		if err != nil {
+			m.Trap("sim: thread %d: fetch at %#x: %v", tu.ID, pc, err)
+		} else {
+			m.Trap("sim: thread %d: illegal instruction %#08x at %#x", tu.ID, word, pc)
+		}
+		return false
+	}
+}
+
+// compileOp translates one instruction into its closure: a fully
+// specialized form for the hot ALU/branch/memory ops, or a generic op
+// that calls the shared issue path — semantically identical to the
+// per-issue engines by construction.
+func (m *Machine) compileOp(pc uint32, e *decEntry) opFn {
+	in, info, word := e.in, e.info, e.word
+	lat := &m.Chip.Cfg.Latencies
+	if fn := compileALU(pc, in, word); fn != nil {
+		return fn
+	}
+	if fn := compileBranch(pc, in, word, uint64(lat.BranchExec)); fn != nil {
+		return fn
+	}
+	switch in.Op {
+	case isa.OpJAL:
+		return mkJAL(pc, word, in.A, pc+4+uint32(in.Imm)*4, uint64(lat.BranchExec))
+	case isa.OpJALR:
+		return mkJALR(pc, word, in.A, in.B, uint32(in.Imm), uint64(lat.BranchExec))
+	case isa.OpLW:
+		return mkLW(pc, word, in.A, in.B, uint32(in.Imm), uint64(lat.MemExec))
+	case isa.OpLD:
+		return mkLD(pc, word, in.A, in.B, uint32(in.Imm), uint64(lat.MemExec))
+	case isa.OpSW:
+		return mkSW(pc, word, in.A, in.B, uint32(in.Imm), uint64(lat.MemExec))
+	}
+	return func(m *Machine, tu *TU, cycle uint64) bool {
+		m.issue(tu, in, info, word, cycle)
+		return false
+	}
+}
+
+// compileALU builds the complete closure for a single-cycle integer op
+// (the ClassOther ALU set: register, immediate and lui forms), nil for
+// anything else. Multiplies, divides, SPR moves, sync and syscall are
+// not simple — they have latencies, traps or side effects — and stay on
+// the generic path. Each closure is deliberately self-contained
+// straight-line code: the dispatch pays exactly one indirect call per
+// instruction. The bodies all follow the issue path's shape — scoreboard
+// wait, Insts++, optional trace record, effect at cyc+1, ChargeRun(1),
+// nextAt, PC — so each commits byte-identical ledger state.
+func compileALU(pc uint32, in isa.Inst, word uint32) opFn {
+	a, b, c := in.A, in.B, in.C
+	imm := in.Imm
+	uimm := uint32(in.Imm)
+	sh := uimm & 31
+	switch in.Op {
+	case isa.OpADD:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)+tu.reg(c), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSUB:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)-tu.reg(c), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpAND:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)&tu.reg(c), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpOR:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)|tu.reg(c), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpXOR:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)^tu.reg(c), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpNOR:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, ^(tu.reg(b) | tu.reg(c)), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSLL:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)<<(tu.reg(c)&31), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSRL:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)>>(tu.reg(c)&31), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSRA:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, uint32(int32(tu.reg(b))>>(tu.reg(c)&31)), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSLT:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, boolBit(int32(tu.reg(b)) < int32(tu.reg(c))), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSLTU:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(b), tu.regReady(c)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, boolBit(tu.reg(b) < tu.reg(c)), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpADDI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)+uimm, cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpANDI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)&uimm, cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpORI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)|uimm, cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpXORI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)^uimm, cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSLLI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)<<sh, cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSRLI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, tu.reg(b)>>sh, cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSRAI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, uint32(int32(tu.reg(b))>>sh), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSLTI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, boolBit(int32(tu.reg(b)) < imm), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpSLTIU:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := tu.regReady(b); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, boolBit(tu.reg(b) < uimm), cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpLUI:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			tu.Insts++ // FmtU: no sources, never waits
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.setReg(a, uimm<<13, cyc+1)
+			tu.ChargeRun(1)
+			tu.nextAt = cyc + 1
+			tu.PC = pc + 4
+			return true
+		}
+	}
+	return nil
+}
+
+// compileBranch builds the complete closure for a conditional branch,
+// nil for any other op. A branch reports a fall-through commit (true)
+// only when not taken, so an untaken branch can lead a fused pair while
+// a taken one ends the dispatch.
+func compileBranch(pc uint32, in isa.Inst, word uint32, be uint64) opFn {
+	ra, rb := in.A, in.B
+	target := pc + 4 + uint32(in.Imm)*4
+	switch in.Op {
+	case isa.OpBEQ:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(ra), tu.regReady(rb)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.ChargeRun(be)
+			tu.nextAt = cyc + be
+			if tu.reg(ra) == tu.reg(rb) {
+				tu.PC = target
+				return false
+			}
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpBNE:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(ra), tu.regReady(rb)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.ChargeRun(be)
+			tu.nextAt = cyc + be
+			if tu.reg(ra) != tu.reg(rb) {
+				tu.PC = target
+				return false
+			}
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpBLT:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(ra), tu.regReady(rb)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.ChargeRun(be)
+			tu.nextAt = cyc + be
+			if int32(tu.reg(ra)) < int32(tu.reg(rb)) {
+				tu.PC = target
+				return false
+			}
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpBGE:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(ra), tu.regReady(rb)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.ChargeRun(be)
+			tu.nextAt = cyc + be
+			if int32(tu.reg(ra)) >= int32(tu.reg(rb)) {
+				tu.PC = target
+				return false
+			}
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpBLTU:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(ra), tu.regReady(rb)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.ChargeRun(be)
+			tu.nextAt = cyc + be
+			if tu.reg(ra) < tu.reg(rb) {
+				tu.PC = target
+				return false
+			}
+			tu.PC = pc + 4
+			return true
+		}
+	case isa.OpBGEU:
+		return func(m *Machine, tu *TU, cyc uint64) bool {
+			if r := timing.MaxReady(tu.regReady(ra), tu.regReady(rb)); r > cyc {
+				tu.nextAt = tu.WaitReady(cyc, r)
+				return false
+			}
+			tu.Insts++
+			if m.Trace != nil {
+				m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+			}
+			tu.ChargeRun(be)
+			tu.nextAt = cyc + be
+			if tu.reg(ra) >= tu.reg(rb) {
+				tu.PC = target
+				return false
+			}
+			tu.PC = pc + 4
+			return true
+		}
+	}
+	return nil
+}
+
+func mkJAL(pc, word uint32, a uint8, target uint32, be uint64) opFn {
+	return func(m *Machine, tu *TU, cyc uint64) bool {
+		tu.Insts++ // FmtJ: no sources, issues immediately
+		if m.Trace != nil {
+			m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+		}
+		tu.setReg(a, pc+4, cyc+2)
+		if obs.Enabled && tu.Samp != nil && a != isa.RZero {
+			tu.Samp.Call(target)
+		}
+		tu.ChargeRun(be)
+		tu.nextAt = cyc + be
+		tu.PC = target
+		return false
+	}
+}
+
+func mkJALR(pc, word uint32, a, b uint8, imm uint32, be uint64) opFn {
+	return func(m *Machine, tu *TU, cyc uint64) bool {
+		if r := tu.regReady(b); r > cyc {
+			tu.nextAt = tu.WaitReady(cyc, r)
+			return false
+		}
+		tu.Insts++
+		if m.Trace != nil {
+			m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+		}
+		t := tu.reg(b) + imm
+		tu.setReg(a, pc+4, cyc+2)
+		if t%4 != 0 {
+			m.Trap("sim: thread %d: jalr to unaligned %#x at %#x", tu.ID, t, pc)
+			tu.ChargeRun(be)
+			tu.nextAt = cyc + be
+			return false
+		}
+		if obs.Enabled && tu.Samp != nil {
+			if a != isa.RZero {
+				tu.Samp.Call(t)
+			} else {
+				tu.Samp.Ret()
+			}
+		}
+		tu.ChargeRun(be)
+		tu.nextAt = cyc + be
+		tu.PC = t
+		return false
+	}
+}
+
+func mkLW(pc, word uint32, a, b uint8, imm uint32, memExec uint64) opFn {
+	return func(m *Machine, tu *TU, cyc uint64) bool {
+		if r := tu.regReady(b); r > cyc {
+			tu.nextAt = tu.WaitReady(cyc, r)
+			return false
+		}
+		tu.Insts++
+		if m.Trace != nil {
+			m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+		}
+		ea := tu.reg(b) + imm
+		phys := arch.Phys(ea)
+		if phys%4 != 0 {
+			m.Trap("sim: thread %d: unaligned %d-byte access to %#x at pc %#x", tu.ID, 4, ea, pc)
+			return false
+		}
+		v, err := m.Chip.Mem.Read32(phys &^ 3)
+		if err != nil {
+			m.Trap("sim: thread %d: %v at pc %#x", tu.ID, err, pc)
+			return false
+		}
+		acc := m.Chip.Data.Load(cyc, ea, 4, tu.Quad)
+		tu.setReg(a, v, acc.Done)
+		tu.ObserveAccess(acc)
+		tu.ChargeRun(memExec)
+		tu.nextAt = cyc + memExec
+		if cyc+1 > tu.nextAt { // loads free the thread at cyc+1
+			tu.ChargeMemStall(acc.Wait, cyc+1-tu.nextAt)
+			tu.nextAt = cyc + 1
+		}
+		tu.PC = pc + 4
+		return true
+	}
+}
+
+func mkLD(pc, word uint32, a, b uint8, imm uint32, memExec uint64) opFn {
+	return func(m *Machine, tu *TU, cyc uint64) bool {
+		if r := tu.regReady(b); r > cyc {
+			tu.nextAt = tu.WaitReady(cyc, r)
+			return false
+		}
+		tu.Insts++
+		if m.Trace != nil {
+			m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+		}
+		ea := tu.reg(b) + imm
+		phys := arch.Phys(ea)
+		if phys%8 != 0 {
+			m.Trap("sim: thread %d: unaligned %d-byte access to %#x at pc %#x", tu.ID, 8, ea, pc)
+			return false
+		}
+		if !FRegOK(a) {
+			m.Trap("sim: thread %d: ld destination r%d not a pair at %#x", tu.ID, a, pc)
+			return false
+		}
+		v, err := m.Chip.Mem.Read64(phys)
+		if err != nil {
+			m.Trap("sim: thread %d: %v at pc %#x", tu.ID, err, pc)
+			return false
+		}
+		acc := m.Chip.Data.Load(cyc, ea, 8, tu.Quad)
+		tu.setReg(a, uint32(v), acc.Done)
+		tu.setReg(a+1, uint32(v>>32), acc.Done)
+		tu.ObserveAccess(acc)
+		tu.ChargeRun(memExec)
+		tu.nextAt = cyc + memExec
+		if cyc+1 > tu.nextAt {
+			tu.ChargeMemStall(acc.Wait, cyc+1-tu.nextAt)
+			tu.nextAt = cyc + 1
+		}
+		tu.PC = pc + 4
+		return true
+	}
+}
+
+func mkSW(pc, word uint32, a, b uint8, imm uint32, memExec uint64) opFn {
+	return func(m *Machine, tu *TU, cyc uint64) bool {
+		if r := timing.MaxReady(tu.regReady(a), tu.regReady(b)); r > cyc {
+			tu.nextAt = tu.WaitReady(cyc, r)
+			return false
+		}
+		tu.Insts++
+		if m.Trace != nil {
+			m.Trace.record(TraceEntry{Cycle: cyc, TID: tu.ID, PC: pc, Word: word})
+		}
+		ea := tu.reg(b) + imm
+		phys := arch.Phys(ea)
+		if phys%4 != 0 {
+			m.Trap("sim: thread %d: unaligned %d-byte access to %#x at pc %#x", tu.ID, 4, ea, pc)
+			return false
+		}
+		if err := m.Chip.Mem.Write32(phys, tu.reg(a)); err != nil {
+			m.Trap("sim: thread %d: %v at pc %#x", tu.ID, err, pc)
+			return false
+		}
+		// A store into watched text bumps the code generation; reporting
+		// false forces the dispatch loop to re-check it before the next
+		// op, so a store can never execute stale compiled code — not
+		// even in its own block.
+		acc := m.Chip.Data.Store(cyc, ea, 4, tu.Quad)
+		freeAt := acc.Done
+		tu.ObserveAccess(acc)
+		tu.ChargeRun(memExec)
+		tu.nextAt = cyc + memExec
+		if freeAt > tu.nextAt {
+			tu.ChargeMemStall(acc.Wait, freeAt-tu.nextAt)
+			tu.nextAt = freeAt
+		}
+		tu.PC = pc + 4
+		return false
+	}
+}

@@ -36,6 +36,22 @@ type decPage struct {
 	entries [decPageWords]decEntry
 }
 
+// decPageFor returns (creating and watching on demand) the decode page
+// covering pc.
+func (m *Machine) decPageFor(pc uint32) *decPage {
+	pk := pc >> decPageShift
+	pg := m.decPages[pk]
+	if pg == nil {
+		if m.decPages == nil {
+			m.decPages = make(map[uint32]*decPage)
+		}
+		pg = new(decPage)
+		m.decPages[pk] = pg
+		m.Chip.Mem.WatchCode(pk<<decPageShift, (pk+1)<<decPageShift)
+	}
+	return pg
+}
+
 // fetchDecoded returns the decoded instruction at tu.PC, filling the cache
 // on a miss. It returns nil after raising a trap (fetch fault or illegal
 // instruction), exactly where the legacy fetch path trapped.
@@ -48,15 +64,7 @@ func (m *Machine) fetchDecoded(tu *TU) *decEntry {
 	pk := tu.PC >> decPageShift
 	pg := tu.decPage
 	if pg == nil || tu.decPageKey != pk {
-		pg = m.decPages[pk]
-		if pg == nil {
-			if m.decPages == nil {
-				m.decPages = make(map[uint32]*decPage)
-			}
-			pg = new(decPage)
-			m.decPages[pk] = pg
-			memory.WatchCode(pk<<decPageShift, (pk+1)<<decPageShift)
-		}
+		pg = m.decPageFor(tu.PC)
 		tu.decPage, tu.decPageKey = pg, pk
 	}
 	e := &pg.entries[(tu.PC>>2)&decPageMask]
@@ -76,11 +84,40 @@ func (m *Machine) fetchDecoded(tu *TU) *decEntry {
 	return e
 }
 
-// flushDecode drops every cached decoding and page hint. Called when the
-// memory's code generation moves (a write landed in watched text).
+// decodeAt fills and returns the decode-cache entry at pc for the block
+// compiler. Unlike fetchDecoded it never traps: an unreadable or illegal
+// word returns a nil entry plus the raw word and fetch error, which the
+// compiler turns into a trap op that fires only if execution actually
+// reaches pc.
+func (m *Machine) decodeAt(pc uint32) (*decEntry, uint32, error) {
+	pg := m.decPageFor(pc)
+	e := &pg.entries[(pc>>2)&decPageMask]
+	if !e.ok {
+		word, err := m.Chip.Mem.Read32(pc)
+		if err != nil {
+			return nil, 0, err
+		}
+		in := isa.Decode(word)
+		if in.Op == isa.OpInvalid {
+			return nil, word, nil
+		}
+		e.in, e.word, e.info, e.ok = in, word, isa.InfoRef(in.Op), true
+	}
+	return e, e.word, nil
+}
+
+// flushDecode drops every cached decoding, compiled block and per-thread
+// hint. Called when the memory's code generation moves (a write landed
+// in watched text): decodings and compiled blocks invalidate together,
+// on the same WatchCode counter.
 func (m *Machine) flushDecode() {
 	m.decPages = nil
+	if m.blocks != nil {
+		m.blocks = nil
+		m.blockFlushes++
+	}
 	for _, tu := range m.TUs {
 		tu.decPage, tu.decPageKey = nil, 0
+		tu.blk = nil
 	}
 }

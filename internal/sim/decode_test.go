@@ -36,29 +36,38 @@ func smcOut(t *testing.T) uint32 {
 	return p.Symbols["out"]
 }
 
-// TestSelfModifyingCode checks the decode cache's safety property on the
-// default (cached, event-driven) engine.
+// TestSelfModifyingCode checks the WatchCode invalidation property on
+// every engine: the legacy interpreter (which re-reads memory each issue
+// and so is correct trivially — the pinned reference), the decoded
+// engine (stale decode entries must flush), and the block engine (stale
+// compiled blocks must flush and recompile).
 func TestSelfModifyingCode(t *testing.T) {
-	m := run(t, smcSrc)
-	if m.decPages == nil {
-		t.Fatal("decode cache was never populated (legacy path taken?)")
-	}
-	if got := word(t, m, smcOut(t)); got != 42 {
-		t.Fatalf("out = %d, want 42 (stale decode executed)", got)
-	}
-}
-
-// TestSelfModifyingCodeLegacy runs the same program through the seed
-// interpreter loop, pinning the reference behaviour the cached engine
-// must match.
-func TestSelfModifyingCodeLegacy(t *testing.T) {
-	LegacyEngine = true
-	defer func() { LegacyEngine = false }()
-	m := run(t, smcSrc)
-	if m.decPages != nil {
-		t.Fatal("legacy engine populated the decode cache")
-	}
-	if got := word(t, m, smcOut(t)); got != 42 {
-		t.Fatalf("out = %d, want 42", got)
+	for _, e := range Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			m, err := tryRunEngine(smcSrc, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch e {
+			case EngineLegacy:
+				if m.decPages != nil {
+					t.Fatal("legacy engine populated the decode cache")
+				}
+			case EngineDecoded:
+				if m.decPages == nil {
+					t.Fatal("decode cache was never populated (legacy path taken?)")
+				}
+			case EngineBlock:
+				if m.blocks == nil {
+					t.Fatal("block cache was never populated (wrong engine path taken?)")
+				}
+				if m.blockFlushes == 0 {
+					t.Fatal("store into compiled text did not flush the block cache")
+				}
+			}
+			if got := word(t, m, smcOut(t)); got != 42 {
+				t.Fatalf("%s: out = %d, want 42 (stale code executed)", e, got)
+			}
+		})
 	}
 }

@@ -119,7 +119,6 @@ func memSize(op isa.Op) uint32 {
 // step attempts to issue one instruction for tu at the current cycle.
 func (m *Machine) step(tu *TU) {
 	cycle := m.cycle
-	lat := &m.Chip.Cfg.Latencies
 	if obs.Enabled && tu.Samp != nil {
 		// Publish the PC before any charge so fetch stalls, dep stalls
 		// and issue cycles all sample at the instruction they belong to.
@@ -128,22 +127,14 @@ func (m *Machine) step(tu *TU) {
 
 	// Instruction fetch through the PIB and the quad pair's I-cache.
 	if !tu.pib.contains(tu.PC) {
-		tu.pib.base = tu.PC
-		ic := m.Chip.ICaches[m.Chip.Cfg.ICacheOf(tu.ID)]
-		stall := uint64(2)
-		if !ic.Fetch(tu.PC) {
-			done := m.Chip.Mem.FillLine(cycle, tu.PC&arch.PhysAddrMask)
-			stall += done - cycle
-		}
-		tu.Charge(obs.ICacheStall, stall)
-		tu.nextAt = cycle + stall
+		m.fetchPIB(tu, cycle)
 		return
 	}
 
 	var in isa.Inst
 	var info *isa.Info
 	var word uint32
-	if m.legacy {
+	if m.engine == EngineLegacy {
 		w, err := m.Chip.Mem.Read32(tu.PC)
 		if err != nil {
 			m.Trap("sim: thread %d: fetch at %#x: %v", tu.ID, tu.PC, err)
@@ -162,7 +153,30 @@ func (m *Machine) step(tu *TU) {
 		}
 		in, info, word = e.in, e.info, e.word
 	}
+	m.issue(tu, in, info, word, cycle)
+}
 
+// fetchPIB refills the thread's prefetch instruction buffer at tu.PC,
+// charging the 2-cycle PIB latency plus any I-cache miss fill.
+func (m *Machine) fetchPIB(tu *TU, cycle uint64) {
+	tu.pib.base = tu.PC
+	ic := m.Chip.ICaches[m.Chip.Cfg.ICacheOf(tu.ID)]
+	stall := uint64(2)
+	if !ic.Fetch(tu.PC) {
+		done := m.Chip.Mem.FillLine(cycle, tu.PC&arch.PhysAddrMask)
+		stall += done - cycle
+	}
+	tu.Charge(obs.ICacheStall, stall)
+	tu.nextAt = cycle + stall
+}
+
+// issue executes one fetched instruction: the scoreboard wait, the
+// per-class execution and charge rules, and the PC advance. It is the
+// semantic core all three engines share — the block compiler's generic
+// ops call it directly, so any instruction without a specialized closure
+// is equivalent by construction.
+func (m *Machine) issue(tu *TU, in isa.Inst, info *isa.Info, word uint32, cycle uint64) {
+	lat := &m.Chip.Cfg.Latencies
 	// Scoreboard: in-order issue waits for source operands; the dep-stall
 	// charge is the ledger's WaitReady rule.
 	if ready := tu.sources(in, info); ready > cycle {

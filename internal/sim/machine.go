@@ -56,6 +56,8 @@ type TU struct {
 	// decPage / decPageKey hint the unit's current decode-cache page.
 	decPage    *decPage
 	decPageKey uint32
+	// blk hints the unit's current compiled block (block engine only).
+	blk *simBlock
 
 	// Ledger is the unit's cycle account (the Figure 7 run/stall totals,
 	// per-reason buckets and memory-wait attribution). The charge rules
@@ -123,10 +125,14 @@ type Machine struct {
 	decPages map[uint32]*decPage
 	decGen   uint64
 
-	// legacy selects the seed engine: linear min-scan scheduling and
-	// per-issue decode. Kept for the equivalence tests that pin the
-	// event-driven engine to the seed's cycle-exact behavior.
-	legacy bool
+	// Compiled-block cache (see block.go), keyed by entry PC.
+	blocks        map[uint32]*simBlock
+	blockCompiles uint64
+	blockFlushes  uint64
+
+	// engine selects the execution engine tier (see engine.go). All
+	// tiers are cycle- and byte-identical; they differ in host cost.
+	engine Engine
 
 	// MaxCycles aborts runaway programs; 0 means no limit.
 	MaxCycles uint64
@@ -143,16 +149,11 @@ type Machine struct {
 	trap error
 }
 
-// LegacyEngine, when set before New, builds machines that run the seed
-// engine (O(active) min-scan per cycle, no decode cache). It exists so
-// tests can assert the optimized engine is cycle- and byte-identical;
-// production code leaves it false.
-var LegacyEngine bool
-
-// New builds a machine over a chip. Kernel may be nil for programs that
-// make no syscalls.
+// New builds a machine over a chip, running the process default engine
+// (see SetDefaultEngine / Machine.SetEngine). Kernel may be nil for
+// programs that make no syscalls.
 func New(chip *core.Chip, kernel Syscaller) *Machine {
-	m := &Machine{Chip: chip, Kernel: kernel, legacy: LegacyEngine}
+	m := &Machine{Chip: chip, Kernel: kernel, engine: DefaultEngine()}
 	pibWords := uint32(chip.Cfg.PIBEntries * 4)
 	for i := 0; i < chip.Cfg.Threads; i++ {
 		m.TUs = append(m.TUs, &TU{
@@ -250,7 +251,7 @@ func (m *Machine) Start(tid int, pc uint32) error {
 	}
 	tu.pos = len(m.active)
 	m.active = append(m.active, tu)
-	if !m.legacy {
+	if m.engine != EngineLegacy {
 		m.eq.push(tu)
 	}
 	return nil
@@ -267,14 +268,19 @@ func (m *Machine) Trap(format string, args ...interface{}) {
 // Run executes until every started thread halts, a trap fires, or the
 // cycle limit is hit. It returns the first trap, if any.
 //
-// The engine is event-driven: a min-heap over the units' next issue
-// cycles replaces the legacy per-cycle scan of the whole active list, so
-// cost scales with units actually issuing rather than units merely
-// alive. Tie order is the legacy rotating round-robin over active-list
-// positions, reproduced bit-for-bit (see sortBatch).
+// The decoded engine is event-driven: a min-heap over the units' next
+// issue cycles replaces the legacy per-cycle scan of the whole active
+// list, so cost scales with units actually issuing rather than units
+// merely alive. Tie order is the legacy rotating round-robin over
+// active-list positions, reproduced bit-for-bit (see sortBatch). The
+// block engine (block.go) keeps this scheduler but replaces per-issue
+// dispatch with compiled basic blocks.
 func (m *Machine) Run() error {
-	if m.legacy {
+	switch m.engine {
+	case EngineLegacy:
 		return m.runLegacy()
+	case EngineBlock:
+		return m.runBlock()
 	}
 	for len(m.active) > 0 && m.trap == nil {
 		// Advance to the earliest pending issue cycle.

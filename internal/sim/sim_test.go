@@ -22,12 +22,17 @@ func run(t *testing.T, src string) *Machine {
 }
 
 func tryRun(src string) (*Machine, error) {
+	return tryRunEngine(src, DefaultEngine())
+}
+
+func tryRunEngine(src string, e Engine) (*Machine, error) {
 	p, err := asm.Assemble(src)
 	if err != nil {
 		return nil, err
 	}
 	chip := core.MustNew(arch.Default())
 	m := New(chip, nil)
+	m.SetEngine(e)
 	m.MaxCycles = 2_000_000
 	if err := chip.LoadImage(p.Origin, p.Bytes); err != nil {
 		return nil, err
@@ -36,6 +41,16 @@ func tryRun(src string) (*Machine, error) {
 		return nil, err
 	}
 	return m, m.Run()
+}
+
+// runEngine is run with an explicit engine selection.
+func runEngine(t *testing.T, src string, e Engine) *Machine {
+	t.Helper()
+	m, err := tryRunEngine(src, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func word(t *testing.T, m *Machine, addr uint32) uint32 {
