@@ -14,7 +14,10 @@
 // input order and are byte-identical for any -parallel value — and for
 // any -engine, which selects the execution engine (block, decoded or
 // legacy) the sweeps simulate on; the engines differ only in host-side
-// speed. -instrate measures exactly that difference: the median
+// speed. -policy/-switch-penalty select the default issue policy and
+// -lat the default latency model for every sweep (the scenario matrix
+// experiment varies both per point regardless). -instrate measures
+// exactly the engines' host-side difference: the median
 // simulated-MIPS of each engine on a dispatch-bound loop, appendable as
 // one entry of the BENCH_sim.json trajectory. Timing and errors go to
 // stderr.
@@ -29,9 +32,11 @@ import (
 	"strings"
 	"time"
 
+	"cyclops/internal/arch"
 	"cyclops/internal/harness"
 	"cyclops/internal/harness/sweep"
 	"cyclops/internal/sim"
+	"cyclops/internal/timing"
 )
 
 // result is one finished experiment: its rendered table or its error.
@@ -50,6 +55,9 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep worker pool size (1 = fully serial)")
 	stats := flag.Bool("stats", false, "report the run/stall cycle breakdown for STREAM and FFT (shorthand for -run breakdown)")
 	engineStr := flag.String("engine", sim.DefaultEngine().String(), "execution engine for the sweeps: block, decoded or legacy")
+	policyStr := flag.String("policy", "fine", "default issue policy for the sweeps: fine, blocked or switchmiss")
+	switchPenalty := flag.Uint64("switch-penalty", 8, "context-switch penalty in cycles (blocked/switchmiss policies)")
+	latSpec := flag.String("lat", "table2", "default latency model for the sweeps: key=value overrides on Table 2 (fpu,fma,load,miss,rhit,rmiss,burst,lag)")
 	instrate := flag.Bool("instrate", false, "measure the per-engine host-side instruction rate (simMIPS) instead of running experiments")
 	samples := flag.Int("samples", 5, "with -instrate: samples per engine (the median is reported)")
 	benchJSON := flag.String("bench-json", "", "with -instrate: append the measurement to this BENCH_sim.json trajectory file")
@@ -62,6 +70,25 @@ func main() {
 		fatal(err)
 	}
 	sim.SetDefaultEngine(engine)
+	pol, err := sim.ParsePolicy(*policyStr, *switchPenalty)
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetDefaultPolicy(pol)
+	lat, err := timing.ParseLatencies(*latSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if lat != timing.DefaultLatencies() {
+		// Workloads build their chips from arch.Default() deep inside the
+		// experiment points; installing the swept latencies as the process
+		// default reaches them all. The matrix experiment's own points pass
+		// explicit chips and are unaffected.
+		cfg := lat.Apply(arch.Default())
+		if _, err := arch.SetDefault(&cfg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *instrate {
 		if *benchJSON != "" && *benchID == "" {

@@ -18,7 +18,10 @@
 // created up front, so a bad path fails before the simulation runs
 // rather than after. -engine selects the execution engine (block,
 // decoded or legacy); all three are cycle-exact, they differ only in
-// host-side speed.
+// host-side speed. -policy selects the issue policy (fine, blocked or
+// switchmiss) with -switch-penalty cycles per context switch, and -lat
+// sweeps the Table 2 latencies ("miss=48,rmiss=72"); every engine
+// honors any (policy, latency) point identically.
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"cyclops/internal/obs"
 	"cyclops/internal/prof"
 	"cyclops/internal/sim"
+	"cyclops/internal/timing"
 	"cyclops/internal/vet"
 )
 
@@ -51,12 +55,25 @@ func main() {
 	timelineOut := flag.String("timeline-out", "", "write the interval telemetry timeline to this file (.json = JSON, else CSV; - = stdout)")
 	timelineEvery := flag.Uint64("timeline-every", 4096, "telemetry timeline interval in simulated cycles")
 	engine := flag.String("engine", sim.DefaultEngine().String(), "execution engine: block, decoded or legacy")
+	policy := flag.String("policy", "fine", "issue policy: fine, blocked or switchmiss")
+	switchPenalty := flag.Uint64("switch-penalty", 8, "context-switch penalty in cycles (blocked/switchmiss policies)")
+	latSpec := flag.String("lat", "table2", "latency model: comma-separated key=value overrides on Table 2 (fpu,fma,load,miss,rhit,rmiss,burst,lag)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-engine E] [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-engine E] [-policy P] [-switch-penalty N] [-lat SPEC] [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
 		os.Exit(2)
 	}
 	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
+		os.Exit(2)
+	}
+	pol, err := sim.ParsePolicy(*policy, *switchPenalty)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
+		os.Exit(2)
+	}
+	lat, err := timing.ParseLatencies(*latSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
 		os.Exit(2)
@@ -66,7 +83,7 @@ func main() {
 		statsJSON: *statsJSON, trace: *trace, traceOut: *traceOut,
 		profileOut: *profileOut, sampleEvery: *sampleEvery,
 		timelineOut: *timelineOut, timelineEvery: *timelineEvery,
-		engine: eng,
+		engine: eng, policy: pol, lat: lat,
 	}
 	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
@@ -82,6 +99,8 @@ type options struct {
 	profileOut, timelineOut    string
 	sampleEvery, timelineEvery uint64
 	engine                     sim.Engine
+	policy                     sim.Policy
+	lat                        timing.LatencyModel
 }
 
 // traceBufferLen sizes the ring when only -trace-out asks for tracing: big
@@ -122,12 +141,13 @@ func run(path string, o options) error {
 		return err
 	}
 
-	chip := core.MustNew(arch.Default())
+	chip := core.MustNew(o.lat.Apply(arch.Default()))
 	k := kernel.New(chip)
 	if o.balanced {
 		k.Policy = kernel.Balanced
 	}
 	k.Machine().SetEngine(o.engine)
+	k.Machine().SetPolicy(o.policy)
 	k.Machine().MaxCycles = o.maxCycles
 	if o.trace > 0 {
 		k.Machine().Trace = sim.NewTraceBuffer(o.trace)

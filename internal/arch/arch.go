@@ -7,7 +7,10 @@
 // single parameter and rebuild the whole machine.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Fixed structural constants of the evaluated design point. These are the
 // quantities the paper treats as given by silicon area; the variable ones
@@ -126,9 +129,36 @@ type LatencyTable struct {
 	OtherExec int // every remaining operation: 1 cycle, no latency
 }
 
-// Default returns the design point evaluated in the paper: 128 threads,
-// 32 quads, 16 banks, the Table 2 latencies.
+// defaultOverride, when set, replaces the paper's design point as the
+// process-wide default configuration. CLI latency sweeps set it once at
+// startup (cyclops-bench -lat-*), before any machine is built; workloads
+// that construct chips deep inside the harness then pick the swept
+// latencies up through Default with no parameter threading.
+var defaultOverride atomic.Pointer[Config]
+
+// SetDefault installs cfg as the configuration Default returns, after
+// validating it; nil restores the paper's Table 2 point. It returns the
+// previous override (nil when the paper's point was active) so tests can
+// defer-restore. Concurrent sweep points needing *different* latencies
+// must instead pass explicit chips; this override is process-wide.
+func SetDefault(cfg *Config) (*Config, error) {
+	if cfg != nil {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		cc := *cfg
+		cfg = &cc
+	}
+	return defaultOverride.Swap(cfg), nil
+}
+
+// Default returns the process default configuration: the design point
+// evaluated in the paper — 128 threads, 32 quads, 16 banks, the Table 2
+// latencies — unless SetDefault installed an override.
 func Default() Config {
+	if c := defaultOverride.Load(); c != nil {
+		return *c
+	}
 	return Config{
 		Threads:            128,
 		ThreadsPerQuad:     4,

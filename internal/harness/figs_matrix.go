@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/core"
+	"cyclops/internal/harness/sweep"
+	"cyclops/internal/kernel"
+	"cyclops/internal/obs"
+	"cyclops/internal/splash"
+	"cyclops/internal/stream"
+	"cyclops/internal/timing"
+)
+
+// matrixPolicies is the issue-policy axis of the scenario matrix: the
+// paper's fine-grained design against blocked multithreading and the
+// switch-on-miss hybrid, both at an 8-cycle pipeline drain/refill.
+func matrixPolicies() []timing.Policy {
+	return []timing.Policy{
+		timing.FineGrain{},
+		timing.Blocked{Pen: 8},
+		timing.SwitchOnMiss{Pen: 8},
+	}
+}
+
+// matrixLatencies is the latency axis: the Table 2 point plus a
+// slow-memory point (miss latencies doubled), and at Full scale a
+// slow-FPU point (result latencies doubled). Labels are the models'
+// canonical specs, so the table is self-describing.
+func matrixLatencies(s Scale) []timing.LatencyModel {
+	slowmem := timing.DefaultLatencies()
+	slowmem.LocalMiss *= 2
+	slowmem.RemoteMiss *= 2
+	pts := []timing.LatencyModel{timing.DefaultLatencies(), slowmem}
+	if s == Full {
+		slowfpu := timing.DefaultLatencies()
+		slowfpu.FPU *= 2
+		slowfpu.FMA *= 2
+		pts = append(pts, slowfpu)
+	}
+	return pts
+}
+
+// Matrix runs the scheduling-policy × latency scenario matrix over one
+// workload per execution frontend: STREAM Triad through the
+// instruction-level simulator and the FFT kernel (hardware barrier)
+// through the direct-execution runtime. Each row reports the run share,
+// the per-reason stall shares — including the policies' separately
+// attributed context-switch penalty — and the memory-wait attribution,
+// making visible which stall buckets each policy trades for switch
+// overhead as the memory gets slower.
+//
+// Policies and latencies are threaded per point (Params.Issue, explicit
+// chips, splash.Config), never through the process defaults: sweep
+// workers run different scenario points concurrently.
+func Matrix(s Scale) (*Table, error) {
+	streamThreads, fftThreads, fftN := 4, 8, 1024
+	if s == Full {
+		streamThreads, fftThreads, fftN = 16, 16, 4096
+	}
+
+	cols := []string{"workload", "engine", "policy", "latency", "threads", "run %"}
+	for _, r := range obs.ReasonNames() {
+		cols = append(cols, r+" %")
+	}
+	for _, k := range obs.MemWaitNames() {
+		cols = append(cols, "w:"+k)
+	}
+	cols = append(cols, "cycles")
+	t := &Table{
+		ID:      "matrix",
+		Title:   "Issue policy × latency scenario matrix (% of accounted cycles)",
+		Columns: cols,
+	}
+
+	type bd struct {
+		run, stall uint64
+		stalls     obs.Breakdown
+		memWaits   obs.MemWaits
+	}
+	type point struct {
+		workload, engine string
+		pol              timing.Policy
+		lat              timing.LatencyModel
+		threads          int
+		run              func() (bd, error)
+	}
+	var pts []point
+	for _, pol := range matrixPolicies() {
+		pol := pol
+		for _, lat := range matrixLatencies(s) {
+			lat := lat
+			pts = append(pts, point{"STREAM Triad", "sim", pol, lat, streamThreads, func() (bd, error) {
+				chip := core.MustNew(lat.Apply(arch.Default()))
+				r, err := stream.RunOn(chip, stream.Params{
+					Kernel: stream.Triad, Threads: streamThreads, N: streamThreads * 1000,
+					Local: true, Reps: 2, Issue: pol,
+				}, kernel.Sequential)
+				if err != nil {
+					return bd{}, err
+				}
+				return bd{r.Run, r.Stall, r.Stalls, r.MemWaits}, nil
+			}})
+			latCopy := lat
+			pts = append(pts, point{"FFT HW barrier", "perf", pol, lat, fftThreads, func() (bd, error) {
+				r, err := splash.RunFFT(splash.FFTOpts{
+					Config: splash.Config{
+						Threads: fftThreads, Barrier: splash.HW,
+						Issue: pol, Latency: &latCopy,
+					},
+					N: fftN,
+				})
+				if err != nil {
+					return bd{}, err
+				}
+				return bd{r.Run, r.Stall, r.Stalls, r.MemWaits}, nil
+			}})
+		}
+	}
+
+	res, err := sweep.Map(pts, func(p point) (bd, error) { return p.run() })
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		r := res[i]
+		if got := r.stalls.Total(); obs.Enabled && got != r.stall {
+			return nil, fmt.Errorf("harness: %s (%s, %s, %s): per-reason stalls sum to %d, legacy total is %d",
+				p.workload, p.pol, p.lat, p.engine, got, r.stall)
+		}
+		total := r.run + r.stall
+		pct := func(v uint64) string {
+			if total == 0 {
+				return "-"
+			}
+			return f1(100 * float64(v) / float64(total))
+		}
+		row := []string{p.workload, p.engine, p.pol.String(), p.lat.String(),
+			fmt.Sprintf("%d", p.threads), pct(r.run)}
+		for _, v := range r.stalls {
+			row = append(row, pct(v))
+		}
+		for _, v := range r.memWaits {
+			row = append(row, fmt.Sprintf("%d", v))
+		}
+		row = append(row, fmt.Sprintf("%d", total))
+		t.AddRow(row...)
+	}
+	t.Note("policy: fine = paper's fine-grained issue; blocked/8 = switch on any stall, 8-cycle penalty; switchmiss/8 = switch on cache miss only")
+	t.Note("latency: canonical spec of the swept point (diffs from Table 2); switch %% = context-switch penalty, attributed separately from the triggering wait")
+	t.Note("policies and latencies are per-point: rows are reproducible standalone via -policy/-switch-penalty/-lat on cyclops-sim")
+	return t, nil
+}

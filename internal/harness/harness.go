@@ -130,6 +130,7 @@ func Experiments() []Experiment {
 		{"microbarrier", "Barrier latency microbenchmark", MicroBarrier},
 		{"breakdown", "Run/stall decomposition by stall reason (both engines)", Breakdown},
 		{"profile", "Guest profiler hot spots by symbol (both engines)", Profile},
+		{"matrix", "Issue policy × latency scenario matrix (extension)", Matrix},
 		{"apps", "Section 5 target applications (extension)", Apps},
 		{"fault", "Degraded-chip bandwidth (extension)", Fault},
 		{"mesh", "Multi-chip weak scaling (extension)", Mesh},

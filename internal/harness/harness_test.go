@@ -40,7 +40,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "microbarrier", "breakdown", "profile", "apps", "fault", "mesh"}
+	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "microbarrier", "breakdown", "profile", "matrix", "apps", "fault", "mesh"}
 	if len(exps) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(want))
 	}
@@ -219,17 +219,17 @@ func TestBreakdownShares(t *testing.T) {
 	if len(tab.Rows) != 5 {
 		t.Fatalf("%d rows, want 3 STREAM + 2 FFT", len(tab.Rows))
 	}
-	// Columns: workload, engine, threads, run %, 7 reason %, 4 mem-wait
+	// Columns: workload, engine, threads, run %, 8 reason %, 4 mem-wait
 	// attribution counts, cycles.
-	if len(tab.Columns) != 16 {
-		t.Fatalf("%d columns, want 16", len(tab.Columns))
+	if len(tab.Columns) != 17 {
+		t.Fatalf("%d columns, want 17", len(tab.Columns))
 	}
-	if got := tab.Columns[11]; got != "w:port" {
-		t.Fatalf("column 11 = %q, want w:port", got)
+	if got := tab.Columns[12]; got != "w:port" {
+		t.Fatalf("column 12 = %q, want w:port", got)
 	}
 	for i := range tab.Rows {
 		sum := 0.0
-		for col := 3; col <= 10; col++ {
+		for col := 3; col <= 11; col++ {
 			sum += cell(t, tab, i, col)
 		}
 		// Run share plus every stall share covers all accounted cycles

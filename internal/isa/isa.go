@@ -340,6 +340,10 @@ const (
 
 // Register conventions used by the assembler and the kernel ABI.
 const (
+	// NumRegs is the size of the general-purpose register file. The
+	// 6-bit register fields cannot name anything above it, but the +1 of
+	// a double-precision pair based at r63 can; accessors clamp that.
+	NumRegs = 64
 	// RZero is hardwired to zero.
 	RZero = 0
 	// RSP is the stack pointer.

@@ -14,7 +14,7 @@ type RegMask uint64
 // to zero, so it never appears in use or def masks: reads of r0 are always
 // safe and writes to it are discarded.
 func Bit(r uint8) RegMask {
-	if r == RZero || r >= 64 {
+	if r == RZero || r >= NumRegs {
 		return 0
 	}
 	return 1 << r
@@ -26,7 +26,7 @@ func (m RegMask) Has(r uint8) bool { return m&(1<<r) != 0 }
 // Regs lists the registers in the mask, ascending.
 func (m RegMask) Regs() []uint8 {
 	var out []uint8
-	for r := uint8(0); r < 64; r++ {
+	for r := uint8(0); r < NumRegs; r++ {
 		if m.Has(r) {
 			out = append(out, r)
 		}

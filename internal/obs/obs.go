@@ -51,6 +51,13 @@ const (
 	// SleepIdle: blocked in the kernel (sleep, join retry) rather than
 	// on a hardware resource.
 	SleepIdle
+	// SwitchStall: the context-switch penalty charged by the blocked and
+	// switch-on-miss issue policies (timing.Policy) on each stall event
+	// that forces a thread switch. The fine-grained policy never charges
+	// it; the underlying resource wait keeps its own reason, so policy
+	// overhead is attributed separately rather than smeared into the
+	// memory or dependence buckets.
+	SwitchStall
 
 	// NumStallReasons bounds the enum; Breakdown is indexed by it.
 	NumStallReasons
@@ -64,6 +71,7 @@ var reasonNames = [NumStallReasons]string{
 	ICacheStall:       "icache",
 	BarrierStall:      "barrier",
 	SleepIdle:         "sleep",
+	SwitchStall:       "switch",
 }
 
 func (r StallReason) String() string {

@@ -26,7 +26,7 @@ func TestReasonNamesCoverTaxonomy(t *testing.T) {
 		t.Errorf("out-of-range String() = %q", StallReason(250).String())
 	}
 	// The enum order is the exported column order; pin it.
-	want := []string{"dep", "cacheport", "bankconflict", "fpu", "icache", "barrier", "sleep"}
+	want := []string{"dep", "cacheport", "bankconflict", "fpu", "icache", "barrier", "sleep", "switch"}
 	for i, w := range want {
 		if got := StallReason(i).String(); got != w {
 			t.Errorf("reason %d = %q, want %q", i, got, w)

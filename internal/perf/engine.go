@@ -35,6 +35,7 @@ import (
 	"cyclops/internal/core"
 	"cyclops/internal/obs"
 	"cyclops/internal/prof"
+	"cyclops/internal/timing"
 )
 
 // Machine owns the engine and the chip being timed.
@@ -65,18 +66,47 @@ type Machine struct {
 	Regions *prof.RegionTable
 	TL      *prof.Timeline
 
+	// pol is the issue policy; polTab its compiled trigger table,
+	// installed into each thread's ledger at Spawn.
+	pol    timing.Policy
+	polTab timing.PolicyTable
+
 	nextTid int
 }
 
-// New builds a runtime machine over a chip.
+// New builds a runtime machine over a chip, on the process default issue
+// policy (timing.SetDefaultPolicy).
 func New(chip *core.Chip) *Machine {
-	return &Machine{
+	m := &Machine{
 		Chip:       chip,
 		msgs:       make(chan msg),
 		brk:        0x1000,
 		allocLimit: chip.Mem.Size() - uint32(chip.Cfg.Threads*(8<<10)),
 	}
+	m.SetPolicy(timing.DefaultPolicy())
+	return m
 }
+
+// SetPolicy selects the issue policy — fine-grained, blocked, or
+// switch-on-miss — honored by every thread's ledger through the shared
+// charge rules. Call before Run; threads spawned earlier are re-wired
+// retroactively, like AttachProfile.
+func (m *Machine) SetPolicy(p timing.Policy) {
+	if m.running {
+		panic("perf: SetPolicy after Run")
+	}
+	if p == nil {
+		p = timing.FineGrain{}
+	}
+	m.pol = p
+	m.polTab = p.Table()
+	for _, t := range m.threads {
+		t.Pol = m.polTab
+	}
+}
+
+// Policy reports the machine's selected issue policy.
+func (m *Machine) Policy() timing.Policy { return m.pol }
 
 // NewDefault builds a machine on a fresh default chip.
 func NewDefault() *Machine {
@@ -149,6 +179,7 @@ func (m *Machine) Spawn(fn func(t *T)) (*T, error) {
 		fn:     fn,
 		resume: make(chan struct{}),
 	}
+	t.Pol = m.polTab
 	if obs.Enabled && m.Prof != nil {
 		t.Samp = m.Prof.Sampler(tid)
 	}

@@ -64,14 +64,18 @@ func (t *T) Region(name string) func() {
 
 // settleStore books one store's wait attribution and, when the write
 // buffer backpressured, advances the clock past the blockage; the
-// port/bank split is the ledger's shared rule (timing.ChargeMemStall).
+// port/bank split and the policy's switch penalty are the ledger's
+// shared rule (timing.SettleAccess).
 func (t *T) settleStore(a cache.Access) {
 	t.ObserveAccess(a)
-	if a.Done <= t.now {
-		return
-	}
-	t.ChargeMemStall(a.Wait, a.Done-t.now)
-	t.now = a.Done
+	t.now = t.SettleAccess(a, t.now, a.Done)
+}
+
+// settleLoad applies the issue policy's per-access rule to a completed
+// non-blocking access: the thread is already free (free == now), so only
+// the miss-switch trigger can fire.
+func (t *T) settleLoad(a cache.Access) {
+	t.now = t.SettleAccess(a, t.now, t.now)
 }
 
 // acquire yields to the engine; on return this thread holds the globally
@@ -88,11 +92,16 @@ func (t *T) block() {
 }
 
 // waitVals charges the in-order scoreboard stall until every operand is
-// ready — the ledger's WaitReady rule, one operand at a time.
+// ready — the ledger's WaitReady rule, applied once to the operand join
+// so a policy switch is one event per join, not one per operand. For the
+// fine-grained policy this books the same total as per-operand waits
+// (sequential dep charges telescope to the max).
 func (t *T) waitVals(vals ...Val) {
+	ready := t.now
 	for _, v := range vals {
-		t.now = t.WaitReady(t.now, v.ready)
+		ready = timing.MaxReady(ready, v.ready)
 	}
+	t.now = t.WaitReady(t.now, ready)
 }
 
 // Work advances the clock by n cycles of thread-local computation
@@ -121,6 +130,7 @@ func (t *T) load(ea uint32, size int) Val {
 	t.ObserveAccess(a)
 	t.ChargeRun(1)
 	t.now++
+	t.settleLoad(a)
 	return Val{ready: a.Done}
 }
 
@@ -155,6 +165,7 @@ func (t *T) Atomic(ea uint32) Val {
 	t.ObserveAccess(a)
 	t.ChargeRun(1)
 	t.now++
+	t.settleLoad(a)
 	return Val{ready: a.Done}
 }
 
@@ -180,6 +191,7 @@ func (t *T) LoadBlock(ea uint32, n, size, stride int) Val {
 			t.ObserveAccess(a)
 			t.ChargeRun(1)
 			t.now++
+			t.settleLoad(a)
 			if a.Done > last.ready {
 				last = Val{ready: a.Done}
 			}
@@ -222,6 +234,7 @@ func (t *T) LoadGather(eas []uint32, size int) Val {
 			t.ObserveAccess(a)
 			t.ChargeRun(1)
 			t.now++
+			t.settleLoad(a)
 			if a.Done > last.ready {
 				last = Val{ready: a.Done}
 			}
@@ -257,10 +270,7 @@ func (t *T) fp(pipe isa.FPUPipe, exec, extra int, ops ...Val) Val {
 	t.acquire()
 	fpu := t.m.Chip.FPUs[t.Quad]
 	start := fpu.Dispatch(t.now, pipe, exec)
-	if start > t.now {
-		t.Charge(obs.FPUStall, start-t.now)
-		t.now = start
-	}
+	t.now = t.WaitFPU(t.now, start)
 	t.ChargeRun(1)
 	t.now++
 	return Val{ready: start + uint64(exec+extra)}
@@ -320,10 +330,7 @@ func (t *T) FPBlock(pipe isa.FPUPipe, n int, ops ...Val) Val {
 		t.acquire()
 		for k := 0; k < c; k++ {
 			start := fpu.Dispatch(t.now, pipe, exec)
-			if start > t.now {
-				t.Charge(obs.FPUStall, start-t.now)
-				t.now = start
-			}
+			t.now = t.WaitFPU(t.now, start)
 			t.ChargeRun(1)
 			t.now++
 			last = Val{ready: start + uint64(exec+extra)}

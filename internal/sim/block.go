@@ -106,7 +106,10 @@ func (m *Machine) runBlock() error {
 		m.rr++
 		m.sortBatch(n)
 		limit := m.cycle
-		if len(m.batch) == 1 {
+		if len(m.batch) == 1 && m.polInline {
+			// A lone ready unit may run unboundedly inline — but only when
+			// the issue policy certifies its timing flows entirely through
+			// ledger charges and resume times (InlineOK).
 			limit = ^uint64(0)
 		}
 		anyHalted := false
@@ -143,8 +146,9 @@ func (m *Machine) stepBlock(tu *TU, limit uint64) {
 	tl := m.TL
 	// Fused superinstructions skip the per-attempt observability hooks
 	// (SetPC, trace records, timeline ticks), so they dispatch only when
-	// none of those observers is attached.
-	fuse := m.Trace == nil && tl == nil && !(obs.Enabled && tu.Samp != nil)
+	// none of those observers is attached — and only when the issue
+	// policy permits inline continuation (InlineOK).
+	fuse := m.polInline && m.Trace == nil && tl == nil && !(obs.Enabled && tu.Samp != nil)
 	blk := tu.blk
 	// clean is opFn's contract: the last op provably wrote no memory, so
 	// the code generation cannot have moved and need not be re-read.
@@ -956,11 +960,9 @@ func mkLW(pc, word uint32, a, b uint8, imm uint32, memExec uint64) opFn {
 		tu.setReg(a, v, acc.Done)
 		tu.ObserveAccess(acc)
 		tu.ChargeRun(memExec)
-		tu.nextAt = cyc + memExec
-		if cyc+1 > tu.nextAt { // loads free the thread at cyc+1
-			tu.ChargeMemStall(acc.Wait, cyc+1-tu.nextAt)
-			tu.nextAt = cyc + 1
-		}
+		// Loads free the thread at cyc+1; SettleAccess also applies the
+		// policy's miss-switch penalty, same as the generic issue path.
+		tu.nextAt = tu.SettleAccess(acc, cyc+memExec, cyc+1)
 		tu.PC = pc + 4
 		return true
 	}
@@ -996,11 +998,7 @@ func mkLD(pc, word uint32, a, b uint8, imm uint32, memExec uint64) opFn {
 		tu.setReg(a+1, uint32(v>>32), acc.Done)
 		tu.ObserveAccess(acc)
 		tu.ChargeRun(memExec)
-		tu.nextAt = cyc + memExec
-		if cyc+1 > tu.nextAt {
-			tu.ChargeMemStall(acc.Wait, cyc+1-tu.nextAt)
-			tu.nextAt = cyc + 1
-		}
+		tu.nextAt = tu.SettleAccess(acc, cyc+memExec, cyc+1)
 		tu.PC = pc + 4
 		return true
 	}
@@ -1031,14 +1029,9 @@ func mkSW(pc, word uint32, a, b uint8, imm uint32, memExec uint64) opFn {
 		// op, so a store can never execute stale compiled code — not
 		// even in its own block.
 		acc := m.Chip.Data.Store(cyc, ea, 4, tu.Quad)
-		freeAt := acc.Done
 		tu.ObserveAccess(acc)
 		tu.ChargeRun(memExec)
-		tu.nextAt = cyc + memExec
-		if freeAt > tu.nextAt {
-			tu.ChargeMemStall(acc.Wait, freeAt-tu.nextAt)
-			tu.nextAt = freeAt
-		}
+		tu.nextAt = tu.SettleAccess(acc, cyc+memExec, acc.Done)
 		tu.PC = pc + 4
 		return false
 	}

@@ -10,25 +10,76 @@ import (
 	"cyclops/internal/arch"
 	"cyclops/internal/asm"
 	"cyclops/internal/core"
+	"cyclops/internal/timing"
 )
 
 // The differential harness: the same program runs to completion on every
-// engine, and everything observable — the run error, the statistics
-// snapshot, and each unit's final PC, state and register file — must
-// match byte-for-byte. The legacy interpreter is the oracle; the decoded
-// and block engines must be indistinguishable from it.
+// engine — under the same issue policy and latency model — and
+// everything observable: the run error, the statistics snapshot, and
+// each unit's final PC, state and register file, must match
+// byte-for-byte. The legacy interpreter is the oracle; the decoded and
+// block engines must be indistinguishable from it.
 
-// diffRun assembles src and runs it on engine e with a tight cycle
-// budget (random programs may loop forever; the identical cycle-limit
-// error is then part of the compared state).
-func diffRun(src string, e Engine) (*Machine, error) {
+// diffScenario is one (issue policy, latency model) point a differential
+// case runs under.
+type diffScenario struct {
+	pol Policy
+	lat timing.LatencyModel
+}
+
+func (s diffScenario) String() string {
+	return s.pol.String() + "@" + s.lat.String()
+}
+
+// diffDefault is the seed behavior: fine-grained issue at Table 2.
+func diffDefault() diffScenario {
+	return diffScenario{pol: timing.FineGrain{}, lat: timing.DefaultLatencies()}
+}
+
+// diffLatencies are the latency points differential cases draw from:
+// Table 2, slow misses, slow FPU, and a fast-hit/slow-burst point.
+func diffLatencies() []timing.LatencyModel {
+	pts := make([]timing.LatencyModel, 4)
+	for i := range pts {
+		pts[i] = timing.DefaultLatencies()
+	}
+	pts[1].LocalMiss, pts[1].RemoteMiss = 48, 72
+	pts[2].FPU, pts[2].FMA = 10, 18
+	pts[3].Load, pts[3].Burst = 3, 24
+	return pts
+}
+
+// scenarioFor derives a scenario from two draws in [0, 255]: the policy
+// family and penalty from polDraw, the latency point from latDraw. Both
+// the seeded corpus and the fuzzer route through this, so every engine
+// comparison exercises a deterministic (policy, latency) pair.
+func scenarioFor(polDraw, latDraw int) diffScenario {
+	pen := uint64(polDraw>>2)%16 + 1
+	var pol Policy
+	switch polDraw % 3 {
+	case 0:
+		pol = timing.FineGrain{}
+	case 1:
+		pol = timing.Blocked{Pen: pen}
+	case 2:
+		pol = timing.SwitchOnMiss{Pen: pen}
+	}
+	lats := diffLatencies()
+	return diffScenario{pol: pol, lat: lats[latDraw%len(lats)]}
+}
+
+// diffRun assembles src and runs it on engine e under scenario sc with a
+// tight cycle budget (random programs may loop forever; the identical
+// cycle-limit error is then part of the compared state).
+func diffRun(src string, e Engine, sc diffScenario) (*Machine, error) {
 	p, err := asm.Assemble(src)
 	if err != nil {
 		return nil, err
 	}
-	chip := core.MustNew(arch.Default())
+	chip := core.MustNew(sc.lat.Apply(arch.Default()))
 	m := New(chip, nil)
 	m.SetEngine(e)
+	m.SetPolicy(sc.pol)
 	m.MaxCycles = 50_000
 	if err := chip.LoadImage(p.Origin, p.Bytes); err != nil {
 		return nil, err
@@ -62,17 +113,17 @@ func diffState(m *Machine, err error) string {
 	return sb.String()
 }
 
-// diffCompare runs src on every engine and fails the test on the first
-// divergence from the legacy oracle.
-func diffCompare(t *testing.T, name, src string) {
+// diffCompare runs src on every engine under scenario sc and fails the
+// test on the first divergence from the legacy oracle.
+func diffCompare(t *testing.T, name, src string, sc diffScenario) {
 	t.Helper()
-	ref, refErr := diffRun(src, EngineLegacy)
+	ref, refErr := diffRun(src, EngineLegacy, sc)
 	want := diffState(ref, refErr)
 	for _, e := range []Engine{EngineDecoded, EngineBlock} {
-		m, err := diffRun(src, e)
+		m, err := diffRun(src, e, sc)
 		if got := diffState(m, err); got != want {
-			t.Fatalf("%s: %s engine diverges from legacy\nprogram:\n%s\n--- legacy ---\n%s--- %s ---\n%s",
-				name, e, src, want, e, got)
+			t.Fatalf("%s (%s): %s engine diverges from legacy\nprogram:\n%s\n--- legacy ---\n%s--- %s ---\n%s",
+				name, sc, e, src, want, e, got)
 		}
 	}
 }
@@ -140,11 +191,14 @@ func randomProgram(rng *rand.Rand) string {
 }
 
 // TestEngineDifferential cross-checks the engines on a fixed corpus of
-// pseudo-random short programs (seeded, so failures reproduce).
+// pseudo-random short programs (seeded, so failures reproduce), each
+// under a random (policy, latency) scenario drawn from the same stream.
 func TestEngineDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(2002))
 	for i := 0; i < 150; i++ {
-		diffCompare(t, fmt.Sprintf("program #%d", i), randomProgram(rng))
+		src := randomProgram(rng)
+		sc := scenarioFor(rng.Intn(256), rng.Intn(256))
+		diffCompare(t, fmt.Sprintf("program #%d", i), src, sc)
 	}
 }
 
@@ -186,6 +240,10 @@ d:	.word 7
 			fmt.Fprintf(&sb, "\t.word %d\n", binary.LittleEndian.Uint32(data[i:]))
 		}
 		sb.WriteString("\thalt\n")
-		diffCompare(t, "fuzz input", sb.String())
+		// The scenario derives from the input bytes, so the fuzzer also
+		// explores the policy × latency plane and failures reproduce
+		// from the corpus file alone.
+		sc := scenarioFor(int(data[0]), int(data[len(data)-1]))
+		diffCompare(t, "fuzz input", sb.String(), sc)
 	})
 }

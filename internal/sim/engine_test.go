@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/internal/arch"
+	"cyclops/internal/asm"
+	"cyclops/internal/core"
+)
+
+func TestParseEngine(t *testing.T) {
+	for _, e := range Engines() {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	got, err := ParseEngine("turbo")
+	if err == nil {
+		t.Fatal("ParseEngine(turbo): no error")
+	}
+	if !strings.Contains(err.Error(), `"turbo"`) || !strings.Contains(err.Error(), "block, decoded or legacy") {
+		t.Errorf("error = %v, want the flag spelling hint", err)
+	}
+	if got != EngineBlock {
+		t.Errorf("error case returns %v, want the EngineBlock zero value", got)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if got := Engine(200).String(); got != "Engine(200)" {
+		t.Errorf("unknown engine String = %q", got)
+	}
+}
+
+func TestSetEngineAfterStartPanics(t *testing.T) {
+	p, err := asm.Assemble("_start:\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := core.MustNew(arch.Default())
+	m := New(chip, nil)
+	if err := chip.LoadImage(p.Origin, p.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(1, p.Entry); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SetEngine on a started machine did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "SetEngine after Start") {
+			t.Fatalf("panic = %v, want SetEngine after Start", r)
+		}
+	}()
+	m.SetEngine(EngineLegacy)
+}
+
+func TestSetDefaultEngine(t *testing.T) {
+	prev := SetDefaultEngine(EngineLegacy)
+	defer SetDefaultEngine(prev)
+	if got := DefaultEngine(); got != EngineLegacy {
+		t.Errorf("default = %v after set, want legacy", got)
+	}
+	m := New(core.MustNew(arch.Default()), nil)
+	if got := m.Engine(); got != EngineLegacy {
+		t.Errorf("new machine engine = %v, want the process default legacy", got)
+	}
+	m.SetEngine(EngineDecoded)
+	if got := m.Engine(); got != EngineDecoded {
+		t.Errorf("per-machine engine = %v, want decoded", got)
+	}
+}

@@ -16,7 +16,9 @@ import (
 
 // reg reads a register; r0 is hardwired to zero.
 func (tu *TU) reg(r uint8) uint32 {
-	if r == isa.RZero {
+	if r == isa.RZero || r >= isa.NumRegs {
+		// r only exceeds the file via the +1 of a pair access based at
+		// r63; reads clamp to zero, matching isa's RegMask metadata.
 		return 0
 	}
 	return tu.Regs[r]
@@ -24,7 +26,7 @@ func (tu *TU) reg(r uint8) uint32 {
 
 // setReg writes a register and records when its value becomes available.
 func (tu *TU) setReg(r uint8, v uint32, ready uint64) {
-	if r == isa.RZero {
+	if r == isa.RZero || r >= isa.NumRegs {
 		return
 	}
 	tu.Regs[r] = v
@@ -46,7 +48,7 @@ func (tu *TU) setFReg(r uint8, f float64, ready uint64) {
 
 // regReady returns the cycle register r is available.
 func (tu *TU) regReady(r uint8) uint64 {
-	if r == isa.RZero {
+	if r == isa.RZero || r >= isa.NumRegs {
 		return 0
 	}
 	return tu.ready[r]
@@ -157,17 +159,23 @@ func (m *Machine) step(tu *TU) {
 }
 
 // fetchPIB refills the thread's prefetch instruction buffer at tu.PC,
-// charging the 2-cycle PIB latency plus any I-cache miss fill.
+// charging the 2-cycle PIB latency plus any I-cache miss fill. An
+// I-cache miss is a switch trigger for the blocked and switch-on-miss
+// policies; the penalty is booked separately and extends the refill.
 func (m *Machine) fetchPIB(tu *TU, cycle uint64) {
 	tu.pib.base = tu.PC
 	ic := m.Chip.ICaches[m.Chip.Cfg.ICacheOf(tu.ID)]
 	stall := uint64(2)
+	var pen uint64
 	if !ic.Fetch(tu.PC) {
 		done := m.Chip.Mem.FillLine(cycle, tu.PC&arch.PhysAddrMask)
 		stall += done - cycle
+		if pen = tu.Pol.OnIFetch; pen != 0 {
+			tu.ChargeSwitch(pen)
+		}
 	}
 	tu.Charge(obs.ICacheStall, stall)
-	tu.nextAt = cycle + stall
+	tu.nextAt = cycle + stall + pen
 }
 
 // issue executes one fetched instruction: the scoreboard wait, the
@@ -274,14 +282,10 @@ func (m *Machine) issue(tu *TU, in isa.Inst, info *isa.Info, word uint32, cycle 
 		}
 		tu.ObserveAccess(acc)
 		tu.ChargeRun(uint64(lat.MemExec))
-		tu.nextAt = cycle + uint64(lat.MemExec)
-		if freeAt > tu.nextAt {
-			// Store backpressure: the write buffer is full, the thread
-			// holds until the bank drains; the ledger's split rule
-			// attributes the wait between port and bank.
-			tu.ChargeMemStall(acc.Wait, freeAt-tu.nextAt)
-			tu.nextAt = freeAt
-		}
+		// SettleAccess is the shared rule: the port/bank split for any
+		// write backpressure past the issue cycle, then the policy's
+		// per-access switch penalty (backpressure or cache miss).
+		tu.nextAt = tu.SettleAccess(acc, cycle+uint64(lat.MemExec), freeAt)
 	}
 
 	if m.trap == nil && tu.State == Running {
@@ -448,13 +452,14 @@ func (m *Machine) execFP(tu *TU, in isa.Inst, info *isa.Info, cycle uint64) {
 	}
 	fpu := m.Chip.FPUs[tu.Quad]
 	start := fpu.Dispatch(cycle, info.Pipe, exec)
-	if start > cycle {
-		tu.Charge(obs.FPUStall, start-cycle)
-	}
+	// WaitFPU charges any structural wait plus the policy's FPU-switch
+	// penalty; the result's ready-time stays pinned to the pipe's start —
+	// a switch delays the thread, not the operation in flight.
+	resume := tu.WaitFPU(cycle, start)
 	done := start + uint64(exec+extra)
 	// The thread issues in one cycle; the pipe carries the rest.
 	tu.ChargeRun(1)
-	tu.nextAt = start + 1
+	tu.nextAt = resume + 1
 
 	writeF := func(f float64) {
 		if !FRegOK(in.A) || in.A == 0 {

@@ -134,6 +134,11 @@ type Machine struct {
 	// tiers are cycle- and byte-identical; they differ in host cost.
 	engine Engine
 
+	// pol is the issue policy (see policy.go); polInline caches its
+	// InlineOK answer for the block engine's continuation rule.
+	pol       Policy
+	polInline bool
+
 	// MaxCycles aborts runaway programs; 0 means no limit.
 	MaxCycles uint64
 
@@ -150,8 +155,9 @@ type Machine struct {
 }
 
 // New builds a machine over a chip, running the process default engine
-// (see SetDefaultEngine / Machine.SetEngine). Kernel may be nil for
-// programs that make no syscalls.
+// and issue policy (see SetDefaultEngine / SetDefaultPolicy and the
+// per-machine SetEngine / SetPolicy). Kernel may be nil for programs
+// that make no syscalls.
 func New(chip *core.Chip, kernel Syscaller) *Machine {
 	m := &Machine{Chip: chip, Kernel: kernel, engine: DefaultEngine()}
 	pibWords := uint32(chip.Cfg.PIBEntries * 4)
@@ -162,6 +168,7 @@ func New(chip *core.Chip, kernel Syscaller) *Machine {
 			pib:  pibState{base: pibEmpty, words: pibWords},
 		})
 	}
+	m.SetPolicy(DefaultPolicy())
 	return m
 }
 

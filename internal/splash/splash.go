@@ -18,6 +18,7 @@ import (
 	"cyclops/internal/obs"
 	"cyclops/internal/perf"
 	"cyclops/internal/prof"
+	"cyclops/internal/timing"
 )
 
 // BarrierKind selects the synchronisation implementation (Section 3.3).
@@ -81,6 +82,13 @@ type Config struct {
 	// Chip, when non-nil, supplies a custom chip (design exploration);
 	// otherwise a fresh default chip is built.
 	Chip *core.Chip
+	// Issue, when non-nil, overrides the process-default issue policy
+	// (fine-grained, blocked, switch-on-miss) for this run's machine.
+	Issue timing.Policy
+	// Latency, when non-nil, substitutes a swept latency model into the
+	// default chip configuration. Ignored when Chip is supplied — a
+	// custom chip already fixes its own latencies.
+	Latency *timing.LatencyModel
 	// ProfileEvery, when nonzero, attaches the guest profiler sampling
 	// every N cycles per thread; kernels annotate their phases with
 	// T.Region and the profile lands in the Result. TimelineEvery
@@ -93,12 +101,22 @@ type Config struct {
 func (c Config) machine() (*perf.Machine, error) {
 	chip := c.Chip
 	if chip == nil {
-		chip = core.MustNew(arch.Default())
+		cfg := arch.Default()
+		if c.Latency != nil {
+			if err := c.Latency.Validate(); err != nil {
+				return nil, err
+			}
+			cfg = c.Latency.Apply(cfg)
+		}
+		chip = core.MustNew(cfg)
 	}
 	if c.Threads < 1 || c.Threads > chip.Cfg.WorkerThreads() {
 		return nil, fmt.Errorf("splash: %d threads out of range (1..%d)", c.Threads, chip.Cfg.WorkerThreads())
 	}
 	m := perf.New(chip)
+	if c.Issue != nil {
+		m.SetPolicy(c.Issue)
+	}
 	m.Balanced = c.Balanced
 	if c.ProfileEvery > 0 {
 		m.AttachProfile(prof.New(c.ProfileEvery))

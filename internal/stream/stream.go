@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"cyclops/internal/arch"
+	"cyclops/internal/timing"
 )
 
 // Kernel selects one of the four STREAM vector kernels.
@@ -109,6 +110,11 @@ type Params struct {
 	// ignored under cyclops_noobs.
 	ProfileEvery  uint64
 	TimelineEvery uint64
+	// Issue, when non-nil, overrides the process-default issue policy
+	// (fine-grained, blocked, switch-on-miss) for this run's machine.
+	// Distinct from the kernel.Policy parameter of Run, which selects
+	// thread *placement*.
+	Issue timing.Policy
 }
 
 // Vector placement: three 2 MB regions below the kernel stacks, staggered

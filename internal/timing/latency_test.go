@@ -1,0 +1,73 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/internal/arch"
+)
+
+func TestLatencyRoundTrip(t *testing.T) {
+	def := DefaultLatencies()
+	if def.String() != "table2" {
+		t.Fatalf("default spec = %q, want table2", def)
+	}
+	for _, spec := range []string{"", "table2"} {
+		m, err := ParseLatencies(spec)
+		if err != nil || m != def {
+			t.Fatalf("ParseLatencies(%q) = %+v, %v", spec, m, err)
+		}
+	}
+	m, err := ParseLatencies("miss=48,rmiss=72")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LocalMiss != 48 || m.RemoteMiss != 72 || m.Load != def.Load {
+		t.Fatalf("overrides: %+v", m)
+	}
+	if got := m.String(); got != "miss=48,rmiss=72" {
+		t.Errorf("String = %q, want canonical round-trip", got)
+	}
+	back, err := ParseLatencies(m.String())
+	if err != nil || back != m {
+		t.Errorf("round trip = %+v, %v", back, err)
+	}
+}
+
+func TestLatencyParseErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"fpu", "key=value"},
+		{"fpu=x", "invalid syntax"},
+		{"bogus=3", "unknown key"},
+		{"load=0", "at least 1"},
+		{"miss=2", "below"},
+		{"rmiss=5", "below"},
+		{"burst=0", "at least 1"},
+		{"lag=3", "below"},
+	}
+	for _, c := range cases {
+		if _, err := ParseLatencies(c.spec); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseLatencies(%q) error = %v, want substring %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func TestLatencyApply(t *testing.T) {
+	m := DefaultLatencies()
+	m.FPU, m.Load, m.Burst = 10, 12, 24
+	cfg := m.Apply(arch.Default())
+	if cfg.Latencies.FPLatency != 10 || cfg.Latencies.LocalHitLatency != 12 || cfg.MemBurstCycles != 24 {
+		t.Fatalf("applied config: fp=%d load=%d burst=%d", cfg.Latencies.FPLatency, cfg.Latencies.LocalHitLatency, cfg.MemBurstCycles)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("applied config does not validate: %v", err)
+	}
+	// Extraction inverts application.
+	if got := LatenciesOf(cfg); got != m {
+		t.Errorf("LatenciesOf(Apply(m)) = %+v, want %+v", got, m)
+	}
+	// Untouched fields survive.
+	if cfg.Latencies.IntDivExec != 33 || cfg.Threads != 128 {
+		t.Errorf("unrelated fields changed: intdiv=%d threads=%d", cfg.Latencies.IntDivExec, cfg.Threads)
+	}
+}

@@ -61,6 +61,10 @@ type Ledger struct {
 	// sampled attributions always agree with the totals. Nil (the
 	// default) and cyclops_noobs builds skip the forwarding entirely.
 	Samp *prof.TSampler
+	// Pol is the compiled issue policy (see Policy): the switch penalty
+	// applied per stall trigger. The zero value is fine-grained — no
+	// penalties — so existing ledgers behave exactly as before.
+	Pol PolicyTable
 }
 
 // ChargeRun books n cycles of issued work.
@@ -86,12 +90,65 @@ func (l *Ledger) Charge(r obs.StallReason, n uint64) {
 
 // WaitReady is the in-order scoreboard rule shared by both engines: if
 // an operand's ready-time lies past now, issue stalls for the difference
-// (charged to DepStall) and resumes at ready. It returns the
+// (charged to DepStall) and resumes at ready — plus the issue policy's
+// dependence-switch penalty when one is configured. It returns the
 // possibly-advanced current time.
 func (l *Ledger) WaitReady(now uint64, ready ReadyTime) uint64 {
 	if ready > now {
 		l.Charge(obs.DepStall, ready-now)
+		if p := l.Pol.OnDep; p != 0 {
+			l.ChargeSwitch(p)
+			ready += p
+		}
 		return ready
+	}
+	return now
+}
+
+// ChargeSwitch books n cycles of context-switch penalty. The penalty is
+// its own stall reason — never folded into the triggering wait's bucket —
+// so breakdowns attribute policy overhead separately.
+func (l *Ledger) ChargeSwitch(n uint64) {
+	l.Charge(obs.SwitchStall, n)
+}
+
+// WaitFPU is the structural-wait rule for the quad-shared FPU: start is
+// the cycle the pipe accepted the operation; any gap from now is charged
+// to FPUStall, plus the policy's FPU-switch penalty. It returns the cycle
+// issue resumes. The result's ready-time is the pipe's, computed from
+// start — a switch penalty delays the thread, not the value in flight.
+func (l *Ledger) WaitFPU(now, start uint64) uint64 {
+	if start > now {
+		l.Charge(obs.FPUStall, start-now)
+		if p := l.Pol.OnFPU; p != 0 {
+			l.ChargeSwitch(p)
+			return start + p
+		}
+		return start
+	}
+	return now
+}
+
+// SettleAccess is the shared post-access rule for one timed data access:
+// now is the cycle the thread would continue unstalled, free the cycle
+// the memory system actually releases it (past now only for write
+// backpressure and blocking atomics). The blocked cycles get the Table 2
+// port-first/bank-remainder split, then the policy applies at most one
+// switch penalty per access — for the backpressure event if it switches
+// on memory blocking, else for a cache miss if it switches on misses.
+// It returns the cycle the thread resumes issue.
+func (l *Ledger) SettleAccess(a cache.Access, now, free uint64) uint64 {
+	if free > now {
+		l.ChargeMemStall(a.Wait, free-now)
+		now = free
+		if p := l.Pol.OnMem; p != 0 {
+			l.ChargeSwitch(p)
+			return now + p
+		}
+	}
+	if p := l.Pol.OnMiss; p != 0 && (a.Where == cache.LocalMiss || a.Where == cache.RemoteMiss) {
+		l.ChargeSwitch(p)
+		now += p
 	}
 	return now
 }
