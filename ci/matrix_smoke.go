@@ -22,9 +22,11 @@ import (
 	"strings"
 
 	"cyclops/internal/arch"
-	"cyclops/internal/core"
+	"cyclops/internal/job"
+	"cyclops/internal/job/workloads"
 	"cyclops/internal/kernel"
 	"cyclops/internal/obs"
+	"cyclops/internal/resultcache"
 	"cyclops/internal/sim"
 	"cyclops/internal/stream"
 	"cyclops/internal/timing"
@@ -76,14 +78,22 @@ func main() {
 	log.Printf("matrix slice matches %s", goldenPath)
 }
 
+// runner executes the scenario points through the job layer — the same
+// path the harness matrix experiment takes — with a memory cache in
+// front, so the lane also exercises spec canonicalization and the
+// hit/miss byte contract. Engines key separately (STREAM is
+// engine-sensitive), so every engine really simulates.
+var runner = func() *job.Runner {
+	r := job.NewRunner()
+	r.Cache = resultcache.OpenMemory(0)
+	return r
+}()
+
 // renderMatrix runs the 2×2 slice on engine e and renders one line per
 // scenario point: policy, latency, cycles, and the per-reason stall
 // totals (names from the shared obs order, so a reason reorder shows up
 // as a golden diff, not a silent misattribution).
 func renderMatrix(e sim.Engine) (string, error) {
-	prevEngine := sim.SetDefaultEngine(e)
-	defer sim.SetDefaultEngine(prevEngine)
-
 	slow := timing.DefaultLatencies()
 	slow.LocalMiss *= 2
 	slow.RemoteMiss *= 2
@@ -92,10 +102,21 @@ func renderMatrix(e sim.Engine) (string, error) {
 	fmt.Fprintf(&sb, "STREAM Triad, 2 threads: policy × latency × stall breakdown\n")
 	for _, pol := range []timing.Policy{timing.FineGrain{}, timing.SwitchOnMiss{Pen: 8}} {
 		for _, lat := range []timing.LatencyModel{timing.DefaultLatencies(), slow} {
-			chip := core.MustNew(lat.Apply(arch.Default()))
-			r, err := stream.RunOn(chip, stream.Params{
+			p := stream.Params{
 				Kernel: stream.Triad, Threads: 2, N: 320, Local: true, Reps: 2, Issue: pol,
-			}, kernel.Sequential)
+			}
+			spec, err := workloads.StreamSpec(p, kernel.Sequential)
+			if err != nil {
+				return "", fmt.Errorf("%s @ %s: %w", pol, lat, err)
+			}
+			cfg := lat.Apply(arch.Default())
+			spec.Config = &cfg
+			spec.Engine = e.String()
+			res, err := runner.Run(spec)
+			if err != nil {
+				return "", fmt.Errorf("%s @ %s: %w", pol, lat, err)
+			}
+			r, err := workloads.StreamResult(p, res)
 			if err != nil {
 				return "", fmt.Errorf("%s @ %s: %w", pol, lat, err)
 			}

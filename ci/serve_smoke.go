@@ -1,0 +1,184 @@
+//go:build ignore
+
+// Serve-smoke lane: boots the cyclops-serve daemon in-process against a
+// fresh disk cache and submits a small STREAM spec matrix twice over
+// real HTTP:
+//
+//	go run ./ci/serve_smoke.go
+//
+// The first pass is all cold misses; the lane fails unless the second
+// pass is >= 95% cache hits (it should be 100% — the bound only absorbs
+// a future lane edit, not flakiness; the simulator is deterministic),
+// unless the second pass triggers any simulator execution at all, or
+// unless any result body differs by a byte between the passes. The
+// daemon's own /metrics export is cross-checked against the runner's
+// stats so the counters the operator sees are the counters the lane
+// gates on.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"cyclops/internal/job"
+	"cyclops/internal/job/workloads"
+	"cyclops/internal/kernel"
+	"cyclops/internal/serve"
+	"cyclops/internal/stream"
+)
+
+// hitFloor is the minimum fraction of second-pass requests the cache
+// must answer.
+const hitFloor = 0.95
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve-smoke: ")
+
+	dir, err := os.MkdirTemp("", "cyclops-serve-smoke-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := serve.New(serve.Config{CacheDir: dir, Workers: 2, QueueLimit: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs, err := matrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("submitting %d specs, two passes, disk cache at %s", len(specs), dir)
+
+	cold, err := runPass(ts.URL, specs)
+	if err != nil {
+		log.Fatalf("cold pass: %v", err)
+	}
+	execsAfterCold := srv.Runner().Stats().Executions
+	warm, err := runPass(ts.URL, specs)
+	if err != nil {
+		log.Fatalf("warm pass: %v", err)
+	}
+	st := srv.Runner().Stats()
+
+	hits := 0
+	for i := range specs {
+		if cold[i].Key != warm[i].Key {
+			log.Fatalf("spec %d: key changed between passes: %s vs %s", i, cold[i].Key, warm[i].Key)
+		}
+		if !bytes.Equal(cold[i].Result, warm[i].Result) {
+			log.Fatalf("spec %d (%s): result bytes differ between passes\n--- cold ---\n%s\n--- warm ---\n%s",
+				i, cold[i].Key, cold[i].Result, warm[i].Result)
+		}
+		if warm[i].Cached {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(len(specs))
+	log.Printf("warm pass: %d/%d cached (%.0f%%), runner: %d executions, %d hits, %d misses",
+		hits, len(specs), 100*frac, st.Executions, st.Hits, st.Misses)
+	if frac < hitFloor {
+		log.Fatalf("warm-pass hit rate %.0f%% below the %.0f%% floor", 100*frac, 100*hitFloor)
+	}
+	if st.Executions != execsAfterCold {
+		log.Fatalf("warm pass executed the simulator %d times; want 0", st.Executions-execsAfterCold)
+	}
+
+	checkMetrics(ts.URL, st)
+	log.Printf("both passes byte-identical, warm pass ran zero simulations")
+}
+
+// matrix is the small STREAM spec matrix: every kernel at two thread
+// counts, tiny problem sizes, one partition variant — enough shape
+// diversity to exercise canonicalization without slowing the lane.
+func matrix() ([]*job.Spec, error) {
+	var specs []*job.Spec
+	for _, k := range stream.Kernels {
+		for _, threads := range []int{2, 4} {
+			p := stream.Params{Kernel: k, Threads: threads, N: 64 * threads, Local: true, Reps: 2}
+			if threads == 4 {
+				p.Partition = stream.Cyclic
+				p.Local = false
+			}
+			spec, err := workloads.StreamSpec(p, kernel.Sequential)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	return specs, nil
+}
+
+// reply is the decoded POST /v1/run body.
+type reply struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+// runPass POSTs every spec once, in order, and returns the replies.
+func runPass(base string, specs []*job.Spec) ([]reply, error) {
+	out := make([]reply, len(specs))
+	for i, spec := range specs {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest("POST", base+"/v1/run", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("X-Cyclops-Client", "serve-smoke")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("spec %d: HTTP %d: %s", i, resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &out[i]); err != nil {
+			return nil, fmt.Errorf("spec %d: decoding reply: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// checkMetrics fetches /metrics and verifies the exported job counters
+// agree with the runner snapshot the gates used.
+func checkMetrics(base string, st job.Stats) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := map[string]uint64{
+		"job_executions": st.Executions,
+		"job_errors":     0,
+	}
+	for name, v := range want {
+		line := fmt.Sprintf("%s %d\n", name, v)
+		if !bytes.Contains(data, []byte(line)) {
+			log.Fatalf("/metrics missing %q:\n%s", line[:len(line)-1], data)
+		}
+	}
+}

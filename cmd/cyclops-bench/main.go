@@ -16,7 +16,11 @@
 // legacy) the sweeps simulate on; the engines differ only in host-side
 // speed. -policy/-switch-penalty select the default issue policy and
 // -lat the default latency model for every sweep (the scenario matrix
-// experiment varies both per point regardless). -instrate measures
+// experiment varies both per point regardless). -cache-dir points the
+// sweeps at a content-addressed result cache directory (created on
+// first use): warm entries skip simulation entirely, so a repeated
+// -run renders the same bytes from cache alone, and the directory is
+// shared safely with cyclops-serve. -instrate measures
 // exactly the engines' host-side difference: the median
 // simulated-MIPS of each engine on a dispatch-bound loop, appendable as
 // one entry of the BENCH_sim.json trajectory. Timing and errors go to
@@ -32,11 +36,10 @@ import (
 	"strings"
 	"time"
 
-	"cyclops/internal/arch"
 	"cyclops/internal/harness"
 	"cyclops/internal/harness/sweep"
-	"cyclops/internal/sim"
-	"cyclops/internal/timing"
+	"cyclops/internal/job"
+	"cyclops/internal/resultcache"
 )
 
 // result is one finished experiment: its rendered table or its error.
@@ -54,10 +57,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep worker pool size (1 = fully serial)")
 	stats := flag.Bool("stats", false, "report the run/stall cycle breakdown for STREAM and FFT (shorthand for -run breakdown)")
-	engineStr := flag.String("engine", sim.DefaultEngine().String(), "execution engine for the sweeps: block, decoded or legacy")
-	policyStr := flag.String("policy", "fine", "default issue policy for the sweeps: fine, blocked or switchmiss")
-	switchPenalty := flag.Uint64("switch-penalty", 8, "context-switch penalty in cycles (blocked/switchmiss policies)")
-	latSpec := flag.String("lat", "table2", "default latency model for the sweeps: key=value overrides on Table 2 (fpu,fma,load,miss,rhit,rmiss,burst,lag)")
+	jf := job.AddFlags(flag.CommandLine)
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; warm entries skip simulation")
 	instrate := flag.Bool("instrate", false, "measure the per-engine host-side instruction rate (simMIPS) instead of running experiments")
 	samples := flag.Int("samples", 5, "with -instrate: samples per engine (the median is reported)")
 	benchJSON := flag.String("bench-json", "", "with -instrate: append the measurement to this BENCH_sim.json trajectory file")
@@ -65,29 +66,19 @@ func main() {
 	benchNote := flag.String("bench-note", "", "with -instrate -bench-json: free-form note for the appended entry")
 	flag.Parse()
 
-	engine, err := sim.ParseEngine(*engineStr)
-	if err != nil {
+	// Workloads build their chips from the process defaults deep inside
+	// the experiment points; installing the selections reaches them all.
+	// The matrix experiment's own points pass explicit configurations
+	// and are unaffected.
+	if err := jf.InstallDefaults(); err != nil {
 		fatal(err)
 	}
-	sim.SetDefaultEngine(engine)
-	pol, err := sim.ParsePolicy(*policyStr, *switchPenalty)
-	if err != nil {
-		fatal(err)
-	}
-	sim.SetDefaultPolicy(pol)
-	lat, err := timing.ParseLatencies(*latSpec)
-	if err != nil {
-		fatal(err)
-	}
-	if lat != timing.DefaultLatencies() {
-		// Workloads build their chips from arch.Default() deep inside the
-		// experiment points; installing the swept latencies as the process
-		// default reaches them all. The matrix experiment's own points pass
-		// explicit chips and are unaffected.
-		cfg := lat.Apply(arch.Default())
-		if _, err := arch.SetDefault(&cfg); err != nil {
+	if *cacheDir != "" {
+		c, err := resultcache.Open(*cacheDir, job.SemanticsVersion, 0)
+		if err != nil {
 			fatal(err)
 		}
+		harness.UseCache(c)
 	}
 
 	if *instrate {

@@ -14,10 +14,10 @@ import (
 	"os"
 
 	"cyclops/internal/arch"
-	"cyclops/internal/core"
 	"cyclops/internal/harness"
+	"cyclops/internal/job"
+	"cyclops/internal/job/workloads"
 	"cyclops/internal/kernel"
-	"cyclops/internal/splash"
 	"cyclops/internal/stream"
 )
 
@@ -55,39 +55,54 @@ func main() {
 	}
 }
 
-// triad runs an out-of-cache STREAM triad on a custom chip and returns
-// total GB/s.
-func triad(cfg arch.Config, threads, perThread int) (float64, error) {
-	chip, err := core.NewChip(cfg)
+// runner executes every ablation point; the custom configurations ride
+// in the specs, so a cache attached here would content-address them too.
+var runner = job.NewRunner()
+
+// streamGBps runs one STREAM configuration on a custom chip through the
+// job layer and returns total GB/s.
+func streamGBps(cfg arch.Config, p stream.Params, place kernel.Policy) (float64, error) {
+	spec, err := workloads.StreamSpec(p, place)
 	if err != nil {
 		return 0, err
 	}
-	n := perThread * threads
-	n -= n % (8 * threads)
-	r, err := stream.RunOn(chip, stream.Params{
-		Kernel: stream.Triad, Threads: threads, N: n,
-		Local: true, Unroll: 4, Reps: 2,
-	}, kernel.Sequential)
+	spec.Config = &cfg
+	res, err := runner.Run(spec)
+	if err != nil {
+		return 0, err
+	}
+	r, err := workloads.StreamResult(p, res)
 	if err != nil {
 		return 0, err
 	}
 	return r.GBps(), nil
 }
 
+// triad runs an out-of-cache STREAM triad on a custom chip and returns
+// total GB/s.
+func triad(cfg arch.Config, threads, perThread int) (float64, error) {
+	n := perThread * threads
+	n -= n % (8 * threads)
+	return streamGBps(cfg, stream.Params{
+		Kernel: stream.Triad, Threads: threads, N: n,
+		Local: true, Unroll: 4, Reps: 2,
+	}, kernel.Sequential)
+}
+
 // fmmCycles runs an FP-heavy FMM on a custom chip.
 func fmmCycles(cfg arch.Config, threads int) (uint64, error) {
-	chip, err := core.NewChip(cfg)
-	if err != nil {
-		return 0, err
-	}
-	r, err := splash.RunFMM(splash.FMMOpts{
-		Config:  splash.Config{Threads: threads, Chip: chip},
-		NBodies: 2048, Levels: 3,
+	spec, err := workloads.SplashSpec(workloads.SplashArgs{
+		Kernel: "fmm", Threads: threads, Bodies: 2048, Levels: 3,
 	})
 	if err != nil {
 		return 0, err
 	}
-	return r.Cycles, nil
+	spec.Config = &cfg
+	res, err := runner.Run(spec)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
 }
 
 // sweepFPUSharing varies how many threads share one FPU/cache (the
@@ -192,13 +207,9 @@ func sweepPolicy() (*harness.Table, error) {
 	for _, tc := range []int{4, 8, 16, 32, 64, 126} {
 		n := 504 * tc
 		run := func(p kernel.Policy) (float64, error) {
-			r, err := stream.Run(stream.Params{
+			return streamGBps(arch.Default(), stream.Params{
 				Kernel: stream.Copy, Threads: tc, N: n, Local: true, Unroll: 4, Reps: 2,
 			}, p)
-			if err != nil {
-				return 0, err
-			}
-			return r.GBps(), nil
 		}
 		seq, err := run(kernel.Sequential)
 		if err != nil {
@@ -224,18 +235,14 @@ func sweepDCache() (*harness.Table, error) {
 	for _, kb := range []int{4, 8, 16, 32} {
 		cfg := arch.Default()
 		cfg.DCacheBytes = kb << 10
-		chip, err := core.NewChip(cfg)
-		if err != nil {
-			return nil, err
-		}
 		n := 504 * 126
-		r, err := stream.RunOn(chip, stream.Params{
+		gbps, err := streamGBps(cfg, stream.Params{
 			Kernel: stream.Copy, Threads: 126, N: n, Local: true, Unroll: 4, Reps: 3,
 		}, kernel.Sequential)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%d", kb), fmt.Sprintf("%.1f", r.GBps()))
+		t.AddRow(fmt.Sprintf("%d", kb), fmt.Sprintf("%.1f", gbps))
 	}
 	t.Note("504 elements/thread fit a 16 KB quad cache warm but overflow 4-8 KB ones")
 	return t, nil

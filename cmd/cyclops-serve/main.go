@@ -1,0 +1,72 @@
+// Command cyclops-serve runs the simulation-as-a-service daemon: an
+// HTTP/JSON frontend over the job layer and the content-addressed
+// result cache.
+//
+// Usage:
+//
+//	cyclops-serve [-addr :8372] [-cache-dir DIR] [-cache-mem MB]
+//	              [-workers N] [-queue N]
+//	              [-engine E] [-policy P] [-switch-penalty N] [-lat SPEC]
+//
+// POST a job spec to /v1/run and get the canonical result back; repeat
+// the POST and the cache answers without running the simulator.
+// Identical concurrent requests coalesce to one execution; fresh work
+// queues behind -workers simulator slots with per-client fairness, and
+// a full queue answers 429 with a Retry-After estimate. /healthz and
+// /metrics serve liveness and counters.
+//
+// -cache-dir persists results across restarts. The directory must be a
+// result cache (carrying the cache's manifest) or empty; pointing the
+// daemon at a non-empty non-cache directory is refused at startup. The
+// engine/policy/latency flags set the daemon-wide defaults a spec
+// inherits when it leaves those fields empty.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"cyclops/internal/job"
+	"cyclops/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty: memory only)")
+	cacheMem := flag.Int("cache-mem", 64, "in-memory cache tier budget in MiB")
+	workers := flag.Int("workers", serve.DefaultWorkers, "concurrent simulator executions")
+	queue := flag.Int("queue", serve.DefaultQueueLimit, "max queued requests before 429")
+	jf := job.AddFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	if err := jf.InstallDefaults(); err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		CacheDir:      *cacheDir,
+		CacheMemBytes: *cacheMem << 20,
+		Workers:       *workers,
+		QueueLimit:    *queue,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	where := "memory-only cache"
+	if *cacheDir != "" {
+		where = "cache at " + *cacheDir
+	}
+	fmt.Fprintf(os.Stderr, "cyclops-serve: listening on %s (%s, %d workers, semantics %s)\n",
+		*addr, where, *workers, job.SemanticsVersion)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cyclops-serve:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,7 @@ import (
 	"cyclops/internal/asm"
 	"cyclops/internal/core"
 	"cyclops/internal/image"
+	"cyclops/internal/job"
 	"cyclops/internal/kernel"
 	"cyclops/internal/obs"
 	"cyclops/internal/prof"
@@ -54,26 +55,13 @@ func main() {
 	sampleEvery := flag.Uint64("sample-every", 64, "profiler sampling interval in simulated cycles per thread")
 	timelineOut := flag.String("timeline-out", "", "write the interval telemetry timeline to this file (.json = JSON, else CSV; - = stdout)")
 	timelineEvery := flag.Uint64("timeline-every", 4096, "telemetry timeline interval in simulated cycles")
-	engine := flag.String("engine", sim.DefaultEngine().String(), "execution engine: block, decoded or legacy")
-	policy := flag.String("policy", "fine", "issue policy: fine, blocked or switchmiss")
-	switchPenalty := flag.Uint64("switch-penalty", 8, "context-switch penalty in cycles (blocked/switchmiss policies)")
-	latSpec := flag.String("lat", "table2", "latency model: comma-separated key=value overrides on Table 2 (fpu,fma,load,miss,rhit,rmiss,burst,lag)")
+	jf := job.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-sim [-engine E] [-policy P] [-switch-penalty N] [-lat SPEC] [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-sim "+job.Usage+" [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
 		os.Exit(2)
 	}
-	eng, err := sim.ParseEngine(*engine)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
-		os.Exit(2)
-	}
-	pol, err := sim.ParsePolicy(*policy, *switchPenalty)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
-		os.Exit(2)
-	}
-	lat, err := timing.ParseLatencies(*latSpec)
+	eng, pol, lat, err := jf.Resolve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
 		os.Exit(2)

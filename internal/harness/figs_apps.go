@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"cyclops/internal/harness/sweep"
-	"cyclops/internal/md"
-	"cyclops/internal/ray"
+	"cyclops/internal/job"
+	"cyclops/internal/job/workloads"
 	"cyclops/internal/splash"
 )
 
@@ -27,9 +27,6 @@ func Apps(s Scale) (*Table, error) {
 		Title:   "Section 5 target applications: speedups (balanced placement)",
 		Columns: []string{"threads", "MD", "Raytrace", "LU"},
 	}
-	cfg := func(tc int) splash.Config {
-		return splash.Config{Threads: tc, Balanced: true}
-	}
 	// One point per (thread count, application); the leading tc=1 triple
 	// is the speedup baseline.
 	type appPoint struct{ tc, app int }
@@ -41,26 +38,34 @@ func Apps(s Scale) (*Table, error) {
 		}
 	}
 	res, err := sweep.Map(pts, func(p appPoint) (*splash.Result, error) {
+		var spec *job.Spec
+		var err error
+		var name string
 		switch p.app {
 		case 0:
-			m, _, err := md.Run(md.Opts{Config: cfg(p.tc), NParticles: mdN, Steps: 1})
-			if err != nil {
-				return nil, fmt.Errorf("md: %w", err)
-			}
-			return m, nil
+			name = "md"
+			spec, err = workloads.MDSpec(workloads.MDArgs{
+				Threads: p.tc, Balanced: true, Particles: mdN, Steps: 1,
+			})
 		case 1:
-			r, _, err := ray.Render(ray.Opts{Config: cfg(p.tc), Width: rayW, Height: rayH})
-			if err != nil {
-				return nil, fmt.Errorf("ray: %w", err)
-			}
-			return r, nil
+			name = "ray"
+			spec, err = workloads.RaySpec(workloads.RayArgs{
+				Threads: p.tc, Balanced: true, Width: rayW, Height: rayH,
+			})
 		default:
-			l, err := splash.RunLU(splash.LUOpts{Config: cfg(p.tc), N: luN})
-			if err != nil {
-				return nil, fmt.Errorf("lu: %w", err)
-			}
-			return l, nil
+			name = "lu"
+			spec, err = workloads.SplashSpec(workloads.SplashArgs{
+				Kernel: "lu", Threads: p.tc, Balanced: true, N: luN,
+			})
 		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		r, err := runSplashJob(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return r, nil
 	})
 	if err != nil {
 		return nil, err

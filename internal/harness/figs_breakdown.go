@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cyclops/internal/harness/sweep"
+	"cyclops/internal/job/workloads"
 	"cyclops/internal/kernel"
 	"cyclops/internal/obs"
 	"cyclops/internal/splash"
@@ -54,9 +55,14 @@ func Breakdown(s Scale) (*Table, error) {
 	for _, tc := range streamThreads {
 		tc := tc
 		pts = append(pts, point{"STREAM Copy", "sim", tc, func() (bd, error) {
-			r, err := stream.Run(stream.Params{
+			p := stream.Params{
 				Kernel: stream.Copy, Threads: tc, N: tc * 1000, Local: true, Reps: 2,
-			}, kernel.Sequential)
+			}
+			spec, err := workloads.StreamSpec(p, kernel.Sequential)
+			if err != nil {
+				return bd{}, err
+			}
+			r, err := runStreamJob(spec, p)
 			if err != nil {
 				return bd{}, err
 			}
@@ -66,9 +72,13 @@ func Breakdown(s Scale) (*Table, error) {
 	for _, kind := range []splash.BarrierKind{splash.HW, splash.SW} {
 		kind := kind
 		pts = append(pts, point{"FFT " + kind.String() + " barrier", "perf", fftThreads, func() (bd, error) {
-			r, err := splash.RunFFT(splash.FFTOpts{
-				Config: splash.Config{Threads: fftThreads, Barrier: kind}, N: fftN,
+			spec, err := workloads.SplashSpec(workloads.SplashArgs{
+				Kernel: "fft", Threads: fftThreads, Barrier: kind.String(), N: fftN,
 			})
+			if err != nil {
+				return bd{}, err
+			}
+			r, err := runSplashJob(spec)
 			if err != nil {
 				return bd{}, err
 			}

@@ -4,11 +4,10 @@ import (
 	"fmt"
 
 	"cyclops/internal/arch"
-	"cyclops/internal/core"
 	"cyclops/internal/harness/sweep"
+	"cyclops/internal/job/workloads"
 	"cyclops/internal/kernel"
 	"cyclops/internal/obs"
-	"cyclops/internal/splash"
 	"cyclops/internal/stream"
 	"cyclops/internal/timing"
 )
@@ -91,26 +90,33 @@ func Matrix(s Scale) (*Table, error) {
 		pol := pol
 		for _, lat := range matrixLatencies(s) {
 			lat := lat
+			cfg := lat.Apply(arch.Default())
 			pts = append(pts, point{"STREAM Triad", "sim", pol, lat, streamThreads, func() (bd, error) {
-				chip := core.MustNew(lat.Apply(arch.Default()))
-				r, err := stream.RunOn(chip, stream.Params{
+				p := stream.Params{
 					Kernel: stream.Triad, Threads: streamThreads, N: streamThreads * 1000,
 					Local: true, Reps: 2, Issue: pol,
-				}, kernel.Sequential)
+				}
+				spec, err := workloads.StreamSpec(p, kernel.Sequential)
+				if err != nil {
+					return bd{}, err
+				}
+				spec.Config = &cfg
+				r, err := runStreamJob(spec, p)
 				if err != nil {
 					return bd{}, err
 				}
 				return bd{r.Run, r.Stall, r.Stalls, r.MemWaits}, nil
 			}})
-			latCopy := lat
 			pts = append(pts, point{"FFT HW barrier", "perf", pol, lat, fftThreads, func() (bd, error) {
-				r, err := splash.RunFFT(splash.FFTOpts{
-					Config: splash.Config{
-						Threads: fftThreads, Barrier: splash.HW,
-						Issue: pol, Latency: &latCopy,
-					},
-					N: fftN,
+				spec, err := workloads.SplashSpec(workloads.SplashArgs{
+					Kernel: "fft", Threads: fftThreads, Barrier: "hw", N: fftN,
 				})
+				if err != nil {
+					return bd{}, err
+				}
+				spec.Config = &cfg
+				spec.Policy = pol.String()
+				r, err := runSplashJob(spec)
 				if err != nil {
 					return bd{}, err
 				}

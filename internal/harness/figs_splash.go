@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cyclops/internal/harness/sweep"
-	"cyclops/internal/perf"
+	"cyclops/internal/job/workloads"
 	"cyclops/internal/splash"
 )
 
@@ -30,26 +30,26 @@ func Fig3(s Scale) (*Table, error) {
 	threads := fig3Threads(s)
 	kernels := []struct {
 		name string
-		run  func(t int) (*splash.Result, error)
+		args func(t int) workloads.SplashArgs
 		max  int // kernel-specific thread ceiling, 0 = none
 	}{
-		{"Barnes", func(t int) (*splash.Result, error) {
-			return splash.RunBarnes(splash.BarnesOpts{Config: splash.Config{Threads: t}, NBodies: nBarnes, Steps: 1})
+		{"Barnes", func(t int) workloads.SplashArgs {
+			return workloads.SplashArgs{Kernel: "barnes", Threads: t, Bodies: nBarnes, Steps: 1}
 		}, 0},
-		{"FFT", func(t int) (*splash.Result, error) {
-			return splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: t}, N: nFFT})
+		{"FFT", func(t int) workloads.SplashArgs {
+			return workloads.SplashArgs{Kernel: "fft", Threads: t, N: nFFT}
 		}, intSqrtOf(nFFT)},
-		{"FMM", func(t int) (*splash.Result, error) {
-			return splash.RunFMM(splash.FMMOpts{Config: splash.Config{Threads: t}, NBodies: nFMM})
+		{"FMM", func(t int) workloads.SplashArgs {
+			return workloads.SplashArgs{Kernel: "fmm", Threads: t, Bodies: nFMM}
 		}, 0},
-		{"LU", func(t int) (*splash.Result, error) {
-			return splash.RunLU(splash.LUOpts{Config: splash.Config{Threads: t}, N: nLU})
+		{"LU", func(t int) workloads.SplashArgs {
+			return workloads.SplashArgs{Kernel: "lu", Threads: t, N: nLU}
 		}, 0},
-		{"Ocean", func(t int) (*splash.Result, error) {
-			return splash.RunOcean(splash.OceanOpts{Config: splash.Config{Threads: t}, N: nOcean})
+		{"Ocean", func(t int) workloads.SplashArgs {
+			return workloads.SplashArgs{Kernel: "ocean", Threads: t, N: nOcean}
 		}, nOcean},
-		{"Radix", func(t int) (*splash.Result, error) {
-			return splash.RunRadix(splash.RadixOpts{Config: splash.Config{Threads: t}, N: nRadix})
+		{"Radix", func(t int) workloads.SplashArgs {
+			return workloads.SplashArgs{Kernel: "radix", Threads: t, N: nRadix}
 		}, 0},
 	}
 
@@ -75,7 +75,11 @@ func Fig3(s Scale) (*Table, error) {
 		}
 	}
 	res, err := sweep.Map(pts, func(c cell) (*splash.Result, error) {
-		r, err := kernels[c.ki].run(c.tc)
+		spec, err := workloads.SplashSpec(kernels[c.ki].args(c.tc))
+		if err != nil {
+			return nil, fmt.Errorf("%s threads=%d: %w", kernels[c.ki].name, c.tc, err)
+		}
+		r, err := runSplashJob(spec)
 		if err != nil {
 			return nil, fmt.Errorf("%s threads=%d: %w", kernels[c.ki].name, c.tc, err)
 		}
@@ -145,7 +149,13 @@ func Fig7(points int, s Scale) (*Table, error) {
 		pts = append(pts, fftPoint{tc, splash.SW}, fftPoint{tc, splash.HW})
 	}
 	res, err := sweep.Map(pts, func(p fftPoint) (*splash.Result, error) {
-		return splash.RunFFT(splash.FFTOpts{Config: splash.Config{Threads: p.tc, Barrier: p.kind}, N: n})
+		spec, err := workloads.SplashSpec(workloads.SplashArgs{
+			Kernel: "fft", Threads: p.tc, Barrier: p.kind.String(), N: n,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return runSplashJob(spec)
 	})
 	if err != nil {
 		return nil, err
@@ -180,32 +190,6 @@ func MicroBarrier(s Scale) (*Table, error) {
 		Title:   "Barrier latency (cycles per barrier, no work between)",
 		Columns: []string{"threads", "hw", "sw tree"},
 	}
-	measure := func(n int, kind splash.BarrierKind) (uint64, error) {
-		m := perf.NewDefault()
-		var bhw *perf.HWBarrier
-		var bsw *perf.SWBarrier
-		if kind == splash.HW {
-			bhw = perf.NewHWBarrier(n)
-		} else {
-			bsw = perf.NewSWBarrier(m, n, 4)
-		}
-		err := m.SpawnN(n, func(th *perf.T, i int) {
-			for p := 0; p < phases; p++ {
-				if bhw != nil {
-					th.HWBarrier(bhw)
-				} else {
-					th.SWBarrier(bsw, i)
-				}
-			}
-		})
-		if err != nil {
-			return 0, err
-		}
-		if err := m.Run(); err != nil {
-			return 0, err
-		}
-		return m.Elapsed() / uint64(phases), nil
-	}
 	type barrierPoint struct {
 		n    int
 		kind splash.BarrierKind
@@ -215,7 +199,19 @@ func MicroBarrier(s Scale) (*Table, error) {
 		pts = append(pts, barrierPoint{n, splash.HW}, barrierPoint{n, splash.SW})
 	}
 	res, err := sweep.Map(pts, func(p barrierPoint) (uint64, error) {
-		return measure(p.n, p.kind)
+		spec, err := workloads.MicroBarrierSpec(workloads.MicroBarrierArgs{
+			Threads: p.n, Barrier: p.kind.String(), Phases: phases,
+		})
+		if err != nil {
+			return 0, err
+		}
+		r, err := Runner.Run(spec)
+		if err != nil {
+			return 0, err
+		}
+		// The workload reports total elapsed cycles; the table shows the
+		// per-barrier cost.
+		return r.Cycles / uint64(phases), nil
 	})
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cyclops/internal/harness/sweep"
+	"cyclops/internal/job/workloads"
 	"cyclops/internal/kernel"
 	"cyclops/internal/refdata"
 	"cyclops/internal/stream"
@@ -20,7 +21,9 @@ type streamPoint struct {
 
 // streamGrid fans rows×4 STREAM simulations across the sweep pool — each
 // point builds its own chip — and regroups the results one row of four
-// kernels per input row, in input order.
+// kernels per input row, in input order. Points go through the job
+// layer, so a warm result cache answers repeated grids without
+// simulating.
 func streamGrid(rows []stream.Params, policy kernel.Policy) ([][4]*stream.Result, error) {
 	pts := make([]streamPoint, 0, 4*len(rows))
 	for _, base := range rows {
@@ -31,7 +34,11 @@ func streamGrid(rows []stream.Params, policy kernel.Policy) ([][4]*stream.Result
 		}
 	}
 	res, err := sweep.Map(pts, func(q streamPoint) (*stream.Result, error) {
-		r, err := stream.Run(q.p, q.policy)
+		spec, err := workloads.StreamSpec(q.p, q.policy)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", q.p.Kernel, err)
+		}
+		r, err := runStreamJob(spec, q.p)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", q.p.Kernel, err)
 		}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"cyclops/internal/job"
+	"cyclops/internal/job/workloads"
+	"cyclops/internal/resultcache"
+	"cyclops/internal/splash"
+	"cyclops/internal/stream"
+)
+
+// Runner executes every cacheable experiment point. The figure sweeps
+// keep their own sweep.Map fan-out and call Runner.Run per point (Run
+// is pool-free, so the nesting is safe); attaching a cache via UseCache
+// makes repeated sweeps — re-runs, engine cross-checks, CI lanes —
+// reuse earlier results instead of re-simulating. Tables are
+// byte-identical either way: the Runner returns results decoded from
+// the same canonical encoding on every path.
+//
+// Experiments that produce live profiler objects (profile) or mutate
+// chips statefully (fault, mesh) stay on the direct path; their points
+// are not content-addressable.
+var Runner = job.NewRunner()
+
+// UseCache attaches a result cache to the experiment runner.
+func UseCache(c *resultcache.Cache) { Runner.Cache = c }
+
+// runStreamJob executes one STREAM point through the job layer and
+// rebuilds the stream result view.
+func runStreamJob(spec *job.Spec, p stream.Params) (*stream.Result, error) {
+	res, err := Runner.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return workloads.StreamResult(p, res)
+}
+
+// runSplashJob executes one direct-execution point through the job
+// layer and rebuilds the splash result view.
+func runSplashJob(spec *job.Spec) (*splash.Result, error) {
+	res, err := Runner.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return workloads.SplashResult(res), nil
+}

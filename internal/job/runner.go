@@ -1,0 +1,200 @@
+package job
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cyclops/internal/harness/sweep"
+	"cyclops/internal/resultcache"
+	"cyclops/internal/sim"
+)
+
+// Stats is a snapshot of a Runner's activity.
+type Stats struct {
+	// Hits counts cache hits; Misses cache consultations that found
+	// nothing (a Runner without a cache counts every run as a miss).
+	Hits, Misses uint64
+	// Coalesced counts submissions that joined an identical in-flight
+	// execution instead of starting their own.
+	Coalesced uint64
+	// Executions counts actual simulator runs — the number the warm-cache
+	// acceptance test pins at zero on a repeated sweep.
+	Executions uint64
+	// Errors counts executions that failed (failures are never cached).
+	Errors uint64
+}
+
+// Runner executes canonical specs: cache first, then a coalesced
+// execution — concurrent submissions of the same key share one run
+// (singleflight) and each decode their own copy of its result. Safe for
+// concurrent use; RunAll additionally fans specs across the process-wide
+// harness/sweep worker pool.
+type Runner struct {
+	// Cache, when non-nil, fronts execution. Set it before the first Run;
+	// results are stored under Spec.Key in the canonical Result encoding.
+	Cache *resultcache.Cache
+
+	mu       sync.Mutex
+	inflight map[resultcache.Key]*call
+
+	hits, misses, coalesced, executions, errors atomic.Uint64
+}
+
+// call is one in-flight execution; done closes once data/err are final.
+type call struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// NewRunner returns a Runner with no cache attached.
+func NewRunner() *Runner {
+	return &Runner{inflight: make(map[resultcache.Key]*call)}
+}
+
+// Run executes one spec and returns its decoded result. Every return
+// path decodes the canonical encoding — cache hit, coalesced join, or
+// fresh execution — so equal specs yield byte-identical encoded results
+// no matter which path served them.
+//
+// Run never calls into the sweep pool itself, so it is safe to call from
+// inside a sweep.Map worker (the harness experiments do exactly that).
+func (r *Runner) Run(spec *Spec) (*Result, error) {
+	data, _, err := r.RunEncoded(spec)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResult(data)
+}
+
+// RunEncoded is Run without the final decode: it returns the canonical
+// encoded result — the exact bytes the cache stores and the serve
+// daemon ships — plus whether the cache served them. Callers must not
+// mutate the returned slice.
+func (r *Runner) RunEncoded(spec *Spec) (data []byte, cached bool, err error) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := canon.Key()
+	if err != nil {
+		return nil, false, err
+	}
+	if r.Cache != nil {
+		if data, ok := r.Cache.Get(key); ok {
+			if _, err := DecodeResult(data); err == nil {
+				r.hits.Add(1)
+				return data, true, nil
+			}
+			// Undecodable despite the cache's integrity check: the entry
+			// predates a Result schema change that forgot a
+			// SemanticsVersion bump. Fall through and re-run.
+		}
+	}
+	r.misses.Add(1)
+
+	r.mu.Lock()
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		r.coalesced.Add(1)
+		<-c.done
+		return c.data, false, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	c.data, c.err = r.execute(canon)
+	if c.err == nil && r.Cache != nil {
+		// A failed store (full disk) must not fail the run; the result
+		// is in hand and the next identical spec simply re-executes.
+		_ = r.Cache.Put(key, c.data)
+	}
+	r.mu.Lock()
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(c.done)
+
+	return c.data, false, c.err
+}
+
+// Cached returns the canonical encoded result when the cache already
+// holds the spec, counting a hit. It never executes and never counts a
+// miss (a subsequent RunEncoded does) — the serve daemon's
+// answer-hits-without-queueing fast path.
+func (r *Runner) Cached(spec *Spec) ([]byte, bool) {
+	if r.Cache == nil {
+		return nil, false
+	}
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return nil, false
+	}
+	key, err := canon.Key()
+	if err != nil {
+		return nil, false
+	}
+	data, ok := r.Cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if _, err := DecodeResult(data); err != nil {
+		return nil, false
+	}
+	r.hits.Add(1)
+	return data, true
+}
+
+// execute performs one real run and returns the canonical encoding.
+func (r *Runner) execute(canon *Spec) ([]byte, error) {
+	r.executions.Add(1)
+	w, ok := LookupWorkload(canon.Workload)
+	if !ok {
+		return nil, fmt.Errorf("job: unknown workload %q", canon.Workload)
+	}
+	engine := sim.DefaultEngine()
+	if canon.Engine != "" {
+		var err error
+		if engine, err = canon.engine(); err != nil {
+			return nil, err
+		}
+	}
+	pol, err := canon.policy()
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.Run(&RunContext{Spec: canon, Config: *canon.Config, Engine: engine, Policy: pol})
+	if err != nil {
+		r.errors.Add(1)
+		return nil, fmt.Errorf("job: %s: %w", canon.Workload, err)
+	}
+	return EncodeResult(res)
+}
+
+// RunAll executes the specs across the process-wide sweep worker pool
+// and returns their results in input order (the first in-order error
+// aborts, exactly like sweep.Map). Identical specs in one batch coalesce
+// to a single execution.
+func (r *Runner) RunAll(specs []*Spec) ([]*Result, error) {
+	return sweep.Map(specs, r.Run)
+}
+
+// Stats snapshots the counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		Coalesced:  r.coalesced.Load(),
+		Executions: r.executions.Load(),
+		Errors:     r.errors.Load(),
+	}
+}
+
+// Inflight reports the number of executions currently running — the
+// serve metrics' view of simulator occupancy.
+func (r *Runner) Inflight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inflight)
+}

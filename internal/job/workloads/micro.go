@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cyclops/internal/job"
+	"cyclops/internal/perf"
+	"cyclops/internal/splash"
+)
+
+// MicroBarrierName is the barrier microbenchmark's spec spelling.
+const MicroBarrierName = "microbarrier"
+
+// swBarrierArity is the software tree fan-in the microbenchmark uses,
+// matching the harness table it feeds.
+const swBarrierArity = 4
+
+// MicroBarrierArgs is the canonical argument schema of the
+// "microbarrier" workload: threads doing nothing but synchronising for
+// Phases barriers. The result's Cycles is the total elapsed time;
+// divide by Phases for the per-barrier latency.
+type MicroBarrierArgs struct {
+	Threads int `json:"threads"`
+	// Barrier is hw or sw.
+	Barrier string `json:"barrier"`
+	Phases  int    `json:"phases"`
+}
+
+func init() {
+	job.Register(job.Workload{
+		Name:          MicroBarrierName,
+		Canon:         canonMicroBarrier,
+		Run:           runMicroBarrier,
+		EngineNeutral: true,
+	})
+}
+
+func canonMicroBarrier(args json.RawMessage) (json.RawMessage, error) {
+	var a MicroBarrierArgs
+	if err := strict(args, &a); err != nil {
+		return nil, err
+	}
+	if a.Threads < 1 {
+		return nil, fmt.Errorf("threads = %d", a.Threads)
+	}
+	if a.Phases < 1 {
+		return nil, fmt.Errorf("phases = %d", a.Phases)
+	}
+	if _, err := parseBarrier(a.Barrier); err != nil {
+		return nil, err
+	}
+	if a.Barrier == "" {
+		a.Barrier = "hw"
+	}
+	return json.Marshal(a)
+}
+
+func runMicroBarrier(ctx *job.RunContext) (*job.Result, error) {
+	var a MicroBarrierArgs
+	if err := strict(ctx.Spec.Args, &a); err != nil {
+		return nil, err
+	}
+	kind, err := parseBarrier(a.Barrier)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := chipFor(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m := perf.New(chip)
+	m.SetPolicy(ctx.Policy)
+	var bhw *perf.HWBarrier
+	var bsw *perf.SWBarrier
+	if kind == splash.HW {
+		bhw = perf.NewHWBarrier(a.Threads)
+	} else {
+		bsw = perf.NewSWBarrier(m, a.Threads, swBarrierArity)
+	}
+	err = m.SpawnN(a.Threads, func(th *perf.T, i int) {
+		for p := 0; p < a.Phases; p++ {
+			if bhw != nil {
+				th.HWBarrier(bhw)
+			} else {
+				th.SWBarrier(bsw, i)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return &job.Result{Cycles: m.Elapsed()}, nil
+}
+
+// MicroBarrierSpec builds the job spec for one barrier measurement.
+func MicroBarrierSpec(a MicroBarrierArgs) (*job.Spec, error) {
+	args, err := json.Marshal(a)
+	if err != nil {
+		return nil, err
+	}
+	return &job.Spec{Workload: MicroBarrierName, Args: args}, nil
+}

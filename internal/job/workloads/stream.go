@@ -1,0 +1,239 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cyclops/internal/job"
+	"cyclops/internal/kernel"
+	"cyclops/internal/stream"
+)
+
+// StreamName is the STREAM workload's spec spelling.
+const StreamName = "stream"
+
+// StreamArgs is the canonical argument schema of the "stream" workload.
+// Defaultable fields are explicit in the canonical form (partition,
+// unroll, reps, placement), so a spec that spells a default and one that
+// omits it key identically.
+type StreamArgs struct {
+	// Kernel is copy, scale, add or triad.
+	Kernel string `json:"kernel"`
+	// Threads and N mirror stream.Params.
+	Threads int `json:"threads"`
+	N       int `json:"n"`
+	// Partition is blocked or cyclic.
+	Partition string `json:"partition"`
+	Local     bool   `json:"local,omitempty"`
+	// Unroll is the hand-unrolling depth (1 or 4).
+	Unroll      int  `json:"unroll"`
+	Independent bool `json:"independent,omitempty"`
+	// Reps is the best-of-N repetition count.
+	Reps int `json:"reps"`
+	// Placement is the kernel thread-placement policy: sequential or
+	// balanced.
+	Placement string `json:"placement"`
+}
+
+// StreamExtra is the STREAM-specific payload carried in Result.Extra.
+type StreamExtra struct {
+	BestCycles uint64   `json:"best_cycles"`
+	RepCycles  []uint64 `json:"rep_cycles"`
+	TotalBytes int      `json:"total_bytes"`
+}
+
+func init() {
+	job.Register(job.Workload{
+		Name:  StreamName,
+		Canon: canonStream,
+		Run:   runStream,
+	})
+}
+
+func parseStreamKernel(s string) (stream.Kernel, error) {
+	switch strings.ToLower(s) {
+	case "copy":
+		return stream.Copy, nil
+	case "scale":
+		return stream.Scale, nil
+	case "add":
+		return stream.Add, nil
+	case "triad":
+		return stream.Triad, nil
+	}
+	return stream.Copy, fmt.Errorf("kernel %q (want copy, scale, add or triad)", s)
+}
+
+func parsePlacement(s string) (kernel.Policy, error) {
+	switch s {
+	case "", "sequential":
+		return kernel.Sequential, nil
+	case "balanced":
+		return kernel.Balanced, nil
+	}
+	return kernel.Sequential, fmt.Errorf("placement %q (want sequential or balanced)", s)
+}
+
+// streamParams converts canonical args back to run parameters.
+func (a StreamArgs) streamParams() (stream.Params, kernel.Policy, error) {
+	k, err := parseStreamKernel(a.Kernel)
+	if err != nil {
+		return stream.Params{}, 0, err
+	}
+	place, err := parsePlacement(a.Placement)
+	if err != nil {
+		return stream.Params{}, 0, err
+	}
+	part := stream.Blocked
+	switch a.Partition {
+	case "", "blocked":
+	case "cyclic":
+		part = stream.Cyclic
+	default:
+		return stream.Params{}, 0, fmt.Errorf("partition %q (want blocked or cyclic)", a.Partition)
+	}
+	p := stream.Params{
+		Kernel:      k,
+		Threads:     a.Threads,
+		N:           a.N,
+		Partition:   part,
+		Local:       a.Local,
+		Unroll:      a.Unroll,
+		Independent: a.Independent,
+		Reps:        a.Reps,
+	}
+	return p, place, nil
+}
+
+func canonStream(args json.RawMessage) (json.RawMessage, error) {
+	var a StreamArgs
+	if err := strict(args, &a); err != nil {
+		return nil, err
+	}
+	p, _, err := a.streamParams()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Make the defaults explicit.
+	a.Kernel = strings.ToLower(p.Kernel.String())
+	if a.Partition == "" {
+		a.Partition = "blocked"
+	}
+	if a.Unroll == 0 {
+		a.Unroll = 1
+	}
+	if a.Reps == 0 {
+		a.Reps = stream.DefaultReps
+	}
+	if a.Placement == "" {
+		a.Placement = "sequential"
+	}
+	return json.Marshal(a)
+}
+
+func runStream(ctx *job.RunContext) (*job.Result, error) {
+	var a StreamArgs
+	if err := strict(ctx.Spec.Args, &a); err != nil {
+		return nil, err
+	}
+	p, place, err := a.streamParams()
+	if err != nil {
+		return nil, err
+	}
+	chip, err := chipFor(ctx)
+	if err != nil {
+		return nil, err
+	}
+	eng := ctx.Engine
+	p.Engine = &eng
+	p.Issue = ctx.Policy
+	r, err := stream.RunOn(chip, p, place)
+	if err != nil {
+		return nil, err
+	}
+	extra, err := json.Marshal(StreamExtra{
+		BestCycles: r.BestCycles,
+		RepCycles:  r.RepCycles,
+		TotalBytes: r.TotalBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &job.Result{
+		Cycles:   r.BestCycles,
+		Insts:    r.Insts,
+		Run:      r.Run,
+		Stall:    r.Stall,
+		Stalls:   r.Stalls,
+		MemWaits: r.MemWaits,
+		Extra:    extra,
+	}, nil
+}
+
+// StreamSpec builds the job spec for one STREAM measurement. The
+// parameters' per-run Issue and Engine overrides fold into the spec's
+// canonical policy/engine fields; profiled runs are not cacheable and
+// must keep calling stream.Run directly.
+func StreamSpec(p stream.Params, place kernel.Policy) (*job.Spec, error) {
+	if p.ProfileEvery != 0 || p.TimelineEvery != 0 {
+		return nil, fmt.Errorf("workloads: profiled STREAM runs are not cacheable; call stream.Run directly")
+	}
+	placement := "sequential"
+	if place == kernel.Balanced {
+		placement = "balanced"
+	}
+	partition := "blocked"
+	if p.Partition == stream.Cyclic {
+		partition = "cyclic"
+	}
+	args, err := json.Marshal(StreamArgs{
+		Kernel:      strings.ToLower(p.Kernel.String()),
+		Threads:     p.Threads,
+		N:           p.N,
+		Partition:   partition,
+		Local:       p.Local,
+		Unroll:      p.Unroll,
+		Independent: p.Independent,
+		Reps:        p.Reps,
+		Placement:   placement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec := &job.Spec{Workload: StreamName, Args: args}
+	if p.Issue != nil {
+		spec.Policy = p.Issue.String()
+	}
+	if p.Engine != nil {
+		spec.Engine = p.Engine.String()
+	}
+	return spec, nil
+}
+
+// StreamResult rebuilds the STREAM result view — including the
+// bandwidth methods, which need the run parameters — from a generic job
+// result produced by the "stream" workload.
+func StreamResult(p stream.Params, r *job.Result) (*stream.Result, error) {
+	var extra StreamExtra
+	if len(r.Extra) == 0 {
+		return nil, fmt.Errorf("workloads: result has no STREAM payload")
+	}
+	if err := json.Unmarshal(r.Extra, &extra); err != nil {
+		return nil, err
+	}
+	return &stream.Result{
+		Params:     p,
+		BestCycles: extra.BestCycles,
+		RepCycles:  extra.RepCycles,
+		TotalBytes: extra.TotalBytes,
+		Insts:      r.Insts,
+		Run:        r.Run,
+		Stall:      r.Stall,
+		Stalls:     r.Stalls,
+		MemWaits:   r.MemWaits,
+	}, nil
+}

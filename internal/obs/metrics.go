@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a small named-counter registry with a deterministic text
+// export, for long-running processes (the cyclops-serve daemon) that
+// need an operational /metrics endpoint without an external metrics
+// dependency. Two kinds of series: owned counters (Counter) and sampled
+// gauges (Func) that read a value at export time — the latter is how
+// existing counter sets (job.Runner stats, resultcache counters) are
+// surfaced without double accounting.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	funcs    map[string]func() uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		funcs:    make(map[string]func() uint64),
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load reads the counter.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Counter returns the named counter, creating it on first use. A name
+// already registered as a Func panics: that is a wiring error.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.funcs[name]; dup {
+		panic("obs: metric " + name + " already registered as a func")
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Func registers a sampled series: f is called at export time.
+// Re-registering a name panics.
+func (m *Metrics) Func(name string, f func() uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.counters[name]; dup {
+		panic("obs: metric " + name + " already registered as a counter")
+	}
+	if _, dup := m.funcs[name]; dup {
+		panic("obs: metric " + name + " registered twice")
+	}
+	m.funcs[name] = f
+}
+
+// WriteText exports every series as "name value\n" lines sorted by
+// name, so successive scrapes diff cleanly.
+func (m *Metrics) WriteText(w io.Writer) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.counters)+len(m.funcs))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	for n := range m.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type sample struct {
+		name string
+		read func() uint64
+	}
+	samples := make([]sample, 0, len(names))
+	for _, n := range names {
+		if c, ok := m.counters[n]; ok {
+			samples = append(samples, sample{n, c.Load})
+		} else {
+			samples = append(samples, sample{n, m.funcs[n]})
+		}
+	}
+	m.mu.Unlock()
+
+	// Sampling happens outside the lock: a Func may itself take locks
+	// (scheduler state), and export must never hold both.
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%s %d\n", s.name, s.read()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsTextExportIsSorted(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("zeta").Add(3)
+	m.Counter("alpha").Inc()
+	m.Func("mid_gauge", func() uint64 { return 42 })
+
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "alpha 1\nmid_gauge 42\nzeta 3\n"
+	if sb.String() != want {
+		t.Fatalf("export = %q; want %q", sb.String(), want)
+	}
+}
+
+func TestMetricsCounterIsSharedByName(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("shared")
+	b := m.Counter("shared")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := a.Load(); got != 3 {
+		t.Fatalf("Load = %d; want 3", got)
+	}
+}
+
+func TestMetricsNameCollisionsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(m *Metrics)
+	}{
+		{"func twice", func(m *Metrics) {
+			m.Func("x", func() uint64 { return 0 })
+			m.Func("x", func() uint64 { return 0 })
+		}},
+		{"counter then func", func(m *Metrics) {
+			m.Counter("x")
+			m.Func("x", func() uint64 { return 0 })
+		}},
+		{"func then counter", func(m *Metrics) {
+			m.Func("x", func() uint64 { return 0 })
+			m.Counter("x")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.set(NewMetrics())
+		})
+	}
+}
+
+func TestMetricsConcurrentUse(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("hits")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			var sb strings.Builder
+			if err := m.WriteText(&sb); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("counter = %d; want 8000", got)
+	}
+}

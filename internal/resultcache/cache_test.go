@@ -1,0 +1,215 @@
+package resultcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	k[0] = b
+	k[31] = b ^ 0xff
+	return k
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	c := OpenMemory(0)
+	k := testKey(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v; want payload, true", got, ok)
+	}
+	st := c.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("counters = %+v; want 1 mem hit, 1 miss, 1 put", st)
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	c := OpenMemory(20) // room for two 8-byte entries, not three
+	a, b, d := testKey(1), testKey(2), testKey(3)
+	for _, k := range []Key{a, b, d} {
+		if err := c.Put(k, []byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(a); ok {
+		t.Fatal("oldest entry survived past the byte budget")
+	}
+	if _, ok := c.Get(d); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d; want 1", ev)
+	}
+}
+
+func TestDiskPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(7)
+	c1, err := Open(dir, "scheme/1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(k, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, "scheme/1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(k)
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("Get after reopen = %q, %v; want persisted, true", got, ok)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("counters = %+v; want the hit served from disk", st)
+	}
+	// The disk hit promotes into memory: the next Get is a memory hit.
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.MemHits != 1 {
+		t.Fatalf("counters = %+v; want the second hit served from memory", st)
+	}
+}
+
+// corruptTests mutates a valid on-disk entry in-place; every mutation
+// must read as a miss, bump the corrupt counter, and delete the file.
+func TestCorruptEntryEvictedAndRecoverable(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped payload byte", func(raw []byte) []byte {
+			raw[len(raw)-1] ^= 0x01
+			return raw
+		}},
+		{"flipped digest byte", func(raw []byte) []byte {
+			raw[len(entryMagic)] ^= 0x01
+			return raw
+		}},
+		{"truncated below header", func(raw []byte) []byte {
+			return raw[:len(entryMagic)+sha256.Size/2]
+		}},
+		{"truncated payload", func(raw []byte) []byte {
+			return raw[:len(raw)-3]
+		}},
+		{"wrong magic", func(raw []byte) []byte {
+			copy(raw, "NOPE!\n")
+			return raw
+		}},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(dir, "scheme/1", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey(9)
+			if err := c.Put(k, []byte("fragile payload")); err != nil {
+				t.Fatal(err)
+			}
+			path := c.entryPath(k)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Fresh open so the memory tier cannot mask the damage.
+			c2, err := Open(dir, "scheme/1", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c2.Get(k); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if st := c2.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+				t.Fatalf("counters = %+v; want 1 corrupt, 1 miss", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry still on disk (stat err %v)", err)
+			}
+			// The slot is reusable: a re-run stores and serves again.
+			if err := c2.Put(k, []byte("fresh payload")); err != nil {
+				t.Fatal(err)
+			}
+			c3, err := Open(dir, "scheme/1", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := c3.Get(k)
+			if !ok || string(got) != "fresh payload" {
+				t.Fatalf("Get after re-put = %q, %v; want fresh payload, true", got, ok)
+			}
+		})
+	}
+}
+
+func TestOpenRefusesNonEmptyNonCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "precious.txt"), []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "scheme/1", 0); err == nil {
+		t.Fatal("Open accepted a non-empty directory without a manifest")
+	}
+	// The refusal must not have touched the directory.
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatal("refused Open still wrote a manifest")
+	}
+}
+
+func TestOpenRefusesKeySchemeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, "scheme/1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "scheme/2", 0); err == nil {
+		t.Fatal("Open accepted a cache written under a different key scheme")
+	}
+	if _, err := Open(dir, "scheme/1", 0); err != nil {
+		t.Fatalf("matching scheme refused: %v", err)
+	}
+}
+
+func TestOpenRefusesBogusManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "scheme/1", 0); err == nil {
+		t.Fatal("Open accepted an unparsable manifest")
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	k := testKey(0xab)
+	parsed, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parsed[:], k[:]) {
+		t.Fatalf("round trip changed the key: %s vs %s", parsed, k)
+	}
+	for _, bad := range []string{"", "zz", k.String()[:10], k.String() + "00"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Fatalf("ParseKey(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sync"
+
+	"cyclops/internal/job"
+)
+
+// task is one queued simulation request.
+type task struct {
+	spec *job.Spec
+	// done closes once data/cached/err are final.
+	done   chan struct{}
+	data   []byte
+	cached bool
+	err    error
+}
+
+// scheduler dispatches queued tasks to a bounded worker set with
+// per-client fairness: each client has its own FIFO, and a round-robin
+// ring over the clients picks the next task, so one client flooding the
+// queue delays its own requests, not everyone else's. Cache hits never
+// enter the queue (the handler answers them directly); only simulator
+// executions compete here.
+type scheduler struct {
+	runner *job.Runner
+
+	mu      sync.Mutex
+	queues  map[string]*clientQueue
+	ring    []*clientQueue // only clients with pending tasks
+	next    int            // ring index served next
+	pending int
+	busy    int
+	workers int
+	limit   int // max queued tasks across all clients
+}
+
+type clientQueue struct {
+	id    string
+	tasks []*task
+}
+
+func newScheduler(runner *job.Runner, workers, limit int) *scheduler {
+	return &scheduler{
+		runner:  runner,
+		queues:  make(map[string]*clientQueue),
+		workers: workers,
+		limit:   limit,
+	}
+}
+
+// submit enqueues t for client. When the queue is full it refuses and
+// returns a Retry-After estimate in seconds (pending work over worker
+// count; at least one).
+func (s *scheduler) submit(client string, t *task) (ok bool, retryAfter int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending >= s.limit {
+		return false, s.pending/s.workers + 1
+	}
+	q := s.queues[client]
+	if q == nil {
+		q = &clientQueue{id: client}
+		s.queues[client] = q
+		s.ring = append(s.ring, q)
+	}
+	q.tasks = append(q.tasks, t)
+	s.pending++
+	s.dispatchLocked()
+	return true, 0
+}
+
+// dispatchLocked starts tasks while workers are free. Every queue in
+// the ring is non-empty (emptied queues are pruned immediately), so the
+// ring cursor always points at the next client due a turn.
+func (s *scheduler) dispatchLocked() {
+	for s.busy < s.workers && s.pending > 0 {
+		idx := s.next % len(s.ring)
+		q := s.ring[idx]
+		t := q.tasks[0]
+		q.tasks = q.tasks[1:]
+		if len(q.tasks) == 0 {
+			delete(s.queues, q.id)
+			s.ring = append(s.ring[:idx], s.ring[idx+1:]...)
+			if len(s.ring) > 0 {
+				s.next = idx % len(s.ring)
+			} else {
+				s.next = 0
+			}
+		} else {
+			s.next = (idx + 1) % len(s.ring)
+		}
+		s.pending--
+		s.busy++
+		go s.run(t)
+	}
+}
+
+// run executes one task and recycles the worker slot.
+func (s *scheduler) run(t *task) {
+	t.data, t.cached, t.err = s.runner.RunEncoded(t.spec)
+	close(t.done)
+	s.mu.Lock()
+	s.busy--
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// load reports the pending and busy counts for the metrics export.
+func (s *scheduler) load() (pending, busy int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending, s.busy
+}

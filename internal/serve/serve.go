@@ -1,0 +1,257 @@
+// Package serve implements the cyclops-serve daemon: simulation as a
+// service over HTTP/JSON, fronted by the content-addressed result
+// cache. A request is a job.Spec; cached results are answered
+// immediately, identical in-flight runs coalesce to one execution, and
+// fresh work goes through a bounded queue with per-client fairness.
+// Bytes served for a key are always the canonical result encoding, so a
+// warm daemon, a cold daemon and a local harness sweep all ship
+// identical results for identical specs.
+//
+// Endpoints:
+//
+//	POST /v1/run           run a spec (or fetch its cached result)
+//	GET  /v1/result/{key}  fetch a result by spec key, cache-only
+//	GET  /v1/workloads     list registered workloads + semantics version
+//	GET  /healthz          liveness
+//	GET  /metrics          counter export (sorted "name value" lines)
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"cyclops/internal/job"
+	_ "cyclops/internal/job/workloads" // register the named workloads
+	"cyclops/internal/obs"
+	"cyclops/internal/resultcache"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// CacheDir is the on-disk cache directory; empty serves from memory
+	// only. A non-empty directory that is not a cache (no manifest) is
+	// refused at startup.
+	CacheDir string
+	// CacheMemBytes bounds the in-memory tier (0 = the cache default).
+	CacheMemBytes int
+	// Workers bounds concurrent simulator executions (0 = 4).
+	Workers int
+	// QueueLimit bounds queued-but-not-running requests across all
+	// clients; past it, submissions get 429 + Retry-After (0 = 64).
+	QueueLimit int
+}
+
+// DefaultWorkers and DefaultQueueLimit are the Config zero-value sizes.
+const (
+	DefaultWorkers    = 4
+	DefaultQueueLimit = 64
+)
+
+// Server is the daemon state: one Runner (cache + singleflight) behind
+// one fairness scheduler.
+type Server struct {
+	runner  *job.Runner
+	sched   *scheduler
+	metrics *obs.Metrics
+	mux     *http.ServeMux
+
+	requests    *obs.Counter
+	badRequests *obs.Counter
+	queueFull   *obs.Counter
+	runErrors   *obs.Counter
+}
+
+// New builds a Server. Cache-directory validation happens here, so a
+// refused directory (satellite of the cache-manifest gate) fails
+// startup rather than the first request.
+func New(cfg Config) (*Server, error) {
+	runner := job.NewRunner()
+	if cfg.CacheDir != "" {
+		c, err := resultcache.Open(cfg.CacheDir, job.SemanticsVersion, cfg.CacheMemBytes)
+		if err != nil {
+			return nil, err
+		}
+		runner.Cache = c
+	} else {
+		runner.Cache = resultcache.OpenMemory(cfg.CacheMemBytes)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	limit := cfg.QueueLimit
+	if limit <= 0 {
+		limit = DefaultQueueLimit
+	}
+	s := &Server{
+		runner:  runner,
+		sched:   newScheduler(runner, workers, limit),
+		metrics: obs.NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.requests = s.metrics.Counter("serve_requests")
+	s.badRequests = s.metrics.Counter("serve_bad_requests")
+	s.queueFull = s.metrics.Counter("serve_queue_full")
+	s.runErrors = s.metrics.Counter("serve_run_errors")
+	stat := func(read func(job.Stats) uint64) func() uint64 {
+		return func() uint64 { return read(runner.Stats()) }
+	}
+	s.metrics.Func("job_hits", stat(func(st job.Stats) uint64 { return st.Hits }))
+	s.metrics.Func("job_misses", stat(func(st job.Stats) uint64 { return st.Misses }))
+	s.metrics.Func("job_coalesced", stat(func(st job.Stats) uint64 { return st.Coalesced }))
+	s.metrics.Func("job_executions", stat(func(st job.Stats) uint64 { return st.Executions }))
+	s.metrics.Func("job_errors", stat(func(st job.Stats) uint64 { return st.Errors }))
+	cstat := func(read func(resultcache.Counters) uint64) func() uint64 {
+		return func() uint64 { return read(runner.Cache.Stats()) }
+	}
+	s.metrics.Func("cache_mem_hits", cstat(func(c resultcache.Counters) uint64 { return c.MemHits }))
+	s.metrics.Func("cache_disk_hits", cstat(func(c resultcache.Counters) uint64 { return c.DiskHits }))
+	s.metrics.Func("cache_misses", cstat(func(c resultcache.Counters) uint64 { return c.Misses }))
+	s.metrics.Func("cache_corrupt", cstat(func(c resultcache.Counters) uint64 { return c.Corrupt }))
+	s.metrics.Func("cache_evictions", cstat(func(c resultcache.Counters) uint64 { return c.Evictions }))
+	s.metrics.Func("cache_puts", cstat(func(c resultcache.Counters) uint64 { return c.Puts }))
+	s.metrics.Func("sched_pending", func() uint64 { p, _ := s.sched.load(); return uint64(p) })
+	s.metrics.Func("sched_busy", func() uint64 { _, b := s.sched.load(); return uint64(b) })
+	s.metrics.Func("job_inflight", func() uint64 { return uint64(runner.Inflight()) })
+
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runner exposes the underlying runner (tests and in-process CI lanes).
+func (s *Server) Runner() *job.Runner { return s.runner }
+
+// runResponse is the POST /v1/run body: the spec's content key, whether
+// the cache served it, and the canonical result encoding verbatim.
+type runResponse struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec job.Spec
+	if err := dec.Decode(&spec); err != nil {
+		s.badRequests.Inc()
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		s.badRequests.Inc()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := canon.Key()
+	if err != nil {
+		s.badRequests.Inc()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Hits bypass the queue: they cost a map lookup, not a worker.
+	if data, ok := s.runner.Cached(canon); ok {
+		writeRun(w, key, true, data)
+		return
+	}
+	t := &task{spec: canon, done: make(chan struct{})}
+	ok, retry := s.sched.submit(clientID(r), t)
+	if !ok {
+		s.queueFull.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		httpError(w, http.StatusTooManyRequests, fmt.Errorf("queue full, retry in ~%ds", retry))
+		return
+	}
+	<-t.done
+	if t.err != nil {
+		// Spec errors were caught above; what remains is a failed run
+		// (e.g. a deterministic guest trap) — the request is at fault,
+		// not the server.
+		s.runErrors.Inc()
+		httpError(w, http.StatusUnprocessableEntity, t.err)
+		return
+	}
+	writeRun(w, key, t.cached, t.data)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	key, err := resultcache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		s.badRequests.Inc()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, ok := s.runner.Cache.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no cached result for %s", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	writeJSON(w, map[string]any{
+		"workloads": job.WorkloadNames(),
+		"semantics": job.SemanticsVersion,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.metrics.WriteText(w)
+}
+
+// clientID names the fairness queue a request belongs to: the
+// X-Cyclops-Client header when set (cooperating tools labelling
+// themselves), else the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Cyclops-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func writeRun(w http.ResponseWriter, key resultcache.Key, cached bool, data []byte) {
+	writeJSON(w, runResponse{Key: key.String(), Cached: cached, Result: data})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,324 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclops/internal/job"
+	"cyclops/internal/serve"
+)
+
+// runBody is the decoded POST /v1/run response.
+type runBody struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postSpec(t *testing.T, url string, spec any, client string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client != "" {
+		req.Header.Set("X-Cyclops-Client", client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeRun(t *testing.T, resp *http.Response) runBody {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	var rb runBody
+	if err := json.Unmarshal(data, &rb); err != nil {
+		t.Fatal(err)
+	}
+	return rb
+}
+
+func streamSpec() map[string]any {
+	return map[string]any{
+		"workload": "stream",
+		"args":     map[string]any{"kernel": "copy", "threads": 2, "n": 128, "reps": 2},
+	}
+}
+
+func TestRunThenCacheHitThenResultEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+
+	cold := decodeRun(t, postSpec(t, ts.URL, streamSpec(), ""))
+	if cold.Cached {
+		t.Fatal("cold run reported cached")
+	}
+	warm := decodeRun(t, postSpec(t, ts.URL, streamSpec(), ""))
+	if !warm.Cached {
+		t.Fatal("second identical run missed the cache")
+	}
+	if warm.Key != cold.Key || !bytes.Equal(warm.Result, cold.Result) {
+		t.Fatalf("warm reply differs from cold:\n%s\nvs\n%s", warm.Result, cold.Result)
+	}
+
+	// The result endpoint serves the canonical bytes under the key.
+	resp, err := http.Get(ts.URL + "/v1/result/" + cold.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if !bytes.Equal(data, cold.Result) {
+		t.Fatalf("result endpoint bytes differ from run reply:\n%s\nvs\n%s", data, cold.Result)
+	}
+
+	// Unknown key: 404. Malformed key: 400.
+	for path, want := range map[string]int{
+		"/v1/result/" + strings.Repeat("0", 64): http.StatusNotFound,
+		"/v1/result/nothex":                     http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: HTTP %d; want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestBadSpecsAre400(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	bad := []any{
+		map[string]any{"workload": "nonesuch"},
+		map[string]any{"workload": "stream", "args": map[string]any{"kernel": "warp"}},
+		map[string]any{"workload": "stream", "unknown_field": true},
+	}
+	for i, spec := range bad {
+		resp := postSpec(t, ts.URL, spec, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad spec %d: HTTP %d; want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestNewRefusesNonCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serve.New(serve.Config{CacheDir: dir}); err == nil {
+		t.Fatal("New accepted a non-empty directory without a cache manifest")
+	}
+}
+
+// Flooding a one-worker, one-slot daemon with a slow workload must
+// produce 429 + Retry-After, and the queued request must still finish
+// correctly.
+func TestQueueFullReturns429(t *testing.T) {
+	job.Register(job.Workload{
+		Name: "test-serve-slow",
+		Canon: func(args json.RawMessage) (json.RawMessage, error) {
+			// Distinct specs (no coalescing): echo the args through.
+			var a struct {
+				ID    int  `json:"id"`
+				Block bool `json:"block,omitempty"`
+			}
+			if err := json.Unmarshal(args, &a); err != nil {
+				return nil, err
+			}
+			return json.Marshal(a)
+		},
+		Run: func(ctx *job.RunContext) (*job.Result, error) {
+			var a struct {
+				ID    int  `json:"id"`
+				Block bool `json:"block,omitempty"`
+			}
+			if err := json.Unmarshal(ctx.Spec.Args, &a); err != nil {
+				return nil, err
+			}
+			if a.Block {
+				<-serveSlowRelease
+			}
+			return &job.Result{Cycles: uint64(a.ID)}, nil
+		},
+		EngineNeutral: true,
+	})
+	_, ts := newTestServer(t, serve.Config{Workers: 1, QueueLimit: 1})
+
+	spec := func(id int, block bool) map[string]any {
+		args := map[string]any{"id": id}
+		if block {
+			args["block"] = true
+		}
+		return map[string]any{"workload": "test-serve-slow", "args": args}
+	}
+
+	// Request 1 occupies the worker; request 2 fills the queue slot.
+	type reply struct {
+		rb   runBody
+		code int
+	}
+	replies := make(chan reply, 2)
+	send := func(id int, block bool) {
+		resp := postSpec(t, ts.URL, spec(id, block), "flooder")
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			replies <- reply{code: resp.StatusCode}
+			return
+		}
+		replies <- reply{rb: decodeRun(t, resp), code: http.StatusOK}
+	}
+	go send(1, true)
+	waitPending(t, ts.URL, "sched_busy", 1)
+	go send(2, false)
+	waitPending(t, ts.URL, "sched_pending", 1)
+
+	// Request 3 finds the queue full.
+	resp := postSpec(t, ts.URL, spec(3, false), "flooder")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request: HTTP %d (%s); want 429", resp.StatusCode, body)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q; want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	close(serveSlowRelease)
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Fatalf("queued request failed: HTTP %d", r.code)
+		}
+	}
+}
+
+// serveSlowRelease unblocks the test-serve-slow workload's blocking run.
+var serveSlowRelease = make(chan struct{})
+
+// waitPending polls /metrics until the named gauge reaches want.
+func waitPending(t *testing.T, base, name string, want int) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if metricValue(t, base, name) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("%s never reached %d (now %d)", name, want, metricValue(t, base, name))
+}
+
+func metricValue(t *testing.T, base, name string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 && f[0] == name {
+			v, err := strconv.Atoi(f[1])
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+func TestMetricsAndHealthAndWorkloads(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	decodeRun(t, postSpec(t, ts.URL, streamSpec(), ""))
+
+	if v := metricValue(t, ts.URL, "job_executions"); v != 1 {
+		t.Errorf("job_executions = %d; want 1", v)
+	}
+	if v := metricValue(t, ts.URL, "serve_requests"); v < 1 {
+		t.Errorf("serve_requests = %d; want >= 1", v)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz: HTTP %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wl struct {
+		Workloads []string `json:"workloads"`
+		Semantics string   `json:"semantics"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&wl)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Semantics != job.SemanticsVersion {
+		t.Errorf("semantics = %q; want %q", wl.Semantics, job.SemanticsVersion)
+	}
+	found := false
+	for _, name := range wl.Workloads {
+		if name == "stream" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("workloads list %v is missing stream", wl.Workloads)
+	}
+}

@@ -84,6 +84,11 @@ func RunOn(chip *core.Chip, p Params, policy Policy) (*Result, error) {
 	}
 	k := kernel.New(chip)
 	k.Policy = policy
+	if p.Engine != nil {
+		// Must precede Boot, like SetPolicy below: engines cannot change
+		// once threads are started.
+		k.Machine().SetEngine(*p.Engine)
+	}
 	if p.Issue != nil {
 		// Must precede Boot: the issue policy installs per-unit trigger
 		// tables and cannot change once threads are started.

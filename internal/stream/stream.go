@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"cyclops/internal/arch"
+	"cyclops/internal/sim"
 	"cyclops/internal/timing"
 )
 
@@ -115,6 +116,11 @@ type Params struct {
 	// Distinct from the kernel.Policy parameter of Run, which selects
 	// thread *placement*.
 	Issue timing.Policy
+	// Engine, when non-nil, selects the simulator execution engine for
+	// this run's machine instead of the process default. The job layer
+	// threads it per point so concurrent runs on different engines never
+	// race on the default.
+	Engine *sim.Engine
 }
 
 // Vector placement: three 2 MB regions below the kernel stacks, staggered
@@ -126,9 +132,12 @@ const (
 	vecC = 0x500080
 )
 
+// DefaultReps is the repetition count a zero Reps defaults to.
+const DefaultReps = 3
+
 func (p *Params) setDefaults() {
 	if p.Reps == 0 {
-		p.Reps = 3
+		p.Reps = DefaultReps
 	}
 	if p.Unroll == 0 {
 		p.Unroll = 1

@@ -2,6 +2,8 @@ package timing
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 )
 
@@ -100,6 +102,29 @@ func (p SwitchOnMiss) Table() PolicyTable {
 }
 func (p SwitchOnMiss) InlineOK() bool { return true }
 func (p SwitchOnMiss) String() string { return fmt.Sprintf("switchmiss/%d", p.Pen) }
+
+// ParsePolicySpec resolves a policy's canonical one-string spelling —
+// the String form: "fine", "blocked/8", "switchmiss/12" — back into a
+// Policy. A bare "blocked" or "switchmiss" takes the default 8-cycle
+// penalty (the -switch-penalty flag default). This is the spelling job
+// specs and the serve API carry, so it must round-trip String exactly.
+func ParsePolicySpec(spec string) (Policy, error) {
+	name, penStr, hasPen := strings.Cut(spec, "/")
+	pen := uint64(DefaultSwitchPenalty)
+	if hasPen {
+		v, err := strconv.ParseUint(penStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("timing: policy spec %q: bad penalty %q", spec, penStr)
+		}
+		pen = v
+	}
+	return ParsePolicy(name, pen)
+}
+
+// DefaultSwitchPenalty is the context-switch penalty assumed when a
+// policy spec or flag set names a switching policy without one: an
+// 8-cycle pipeline drain/refill.
+const DefaultSwitchPenalty = 8
 
 // ParsePolicy resolves a -policy flag value with its -switch-penalty.
 // The penalty is ignored by the fine-grained policy.
