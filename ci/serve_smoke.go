@@ -94,7 +94,9 @@ func main() {
 		log.Fatalf("warm pass executed the simulator %d times; want 0", st.Executions-execsAfterCold)
 	}
 
-	checkMetrics(ts.URL, st)
+	checkMetrics(ts.URL, st, len(specs))
+	checkSpans(srv, len(specs))
+	checkMetricsStability(ts.URL)
 	log.Printf("both passes byte-identical, warm pass ran zero simulations")
 }
 
@@ -160,8 +162,92 @@ func runPass(base string, specs []*job.Spec) ([]reply, error) {
 }
 
 // checkMetrics fetches /metrics and verifies the exported job counters
-// agree with the runner snapshot the gates used.
-func checkMetrics(base string, st job.Stats) {
+// agree with the runner snapshot the gates used, and that the latency
+// histograms actually observed the traffic: every request of both
+// passes must land in the per-workload run_seconds series.
+func checkMetrics(base string, st job.Stats, specs int) {
+	data := scrapeMetrics(base)
+	want := map[string]uint64{
+		"job_executions":                                 st.Executions,
+		"job_errors":                                     0,
+		`run_seconds_count{workload="stream"}`:           uint64(2 * specs),
+		`serve_request_seconds_count`:                    uint64(2 * specs),
+		`job_stage_seconds_count{stage="execute"}`:       st.Executions,
+		`job_stage_seconds_count{stage="store"}`:         st.Executions,
+		`job_stage_seconds_count{stage="coalesce_wait"}`: 0,
+	}
+	for name, v := range want {
+		line := fmt.Sprintf("%s %d\n", name, v)
+		if !bytes.Contains(data, []byte(line)) {
+			log.Fatalf("/metrics missing %q:\n%s", line[:len(line)-1], data)
+		}
+	}
+}
+
+// checkSpans reads the daemon's span recorder and verifies the warm
+// pass is visible as traced cache hits: at least one cache_lookup span
+// per spec carries outcome=hit, every span belongs to a request-rooted
+// trace, and the cold pass's execute spans are all there.
+func checkSpans(srv *serve.Server, specs int) {
+	spans := srv.Tracer().Snapshot()
+	roots := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Name == "request" {
+			roots[sp.Trace.String()] = true
+		}
+	}
+	hits, execs := 0, 0
+	for _, sp := range spans {
+		if !roots[sp.Trace.String()] {
+			log.Fatalf("span %q in trace %s has no request root", sp.Name, sp.Trace)
+		}
+		switch sp.Name {
+		case "execute":
+			execs++
+		case "cache_lookup":
+			for _, kv := range sp.Attrs {
+				if kv[0] == "outcome" && kv[1] == "hit" {
+					hits++
+				}
+			}
+		}
+	}
+	if hits < specs {
+		log.Fatalf("traces show %d cache_lookup hit spans; want >= %d (one per warm request)", hits, specs)
+	}
+	if execs != specs {
+		log.Fatalf("traces show %d execute spans; want %d (one per cold request)", execs, specs)
+	}
+	log.Printf("spans: %d recorded, %d execute, %d cache hits, all request-rooted", len(spans), execs, hits)
+}
+
+// checkMetricsStability scrapes /metrics twice back to back with no
+// intervening traffic: the export must be byte-identical (deterministic
+// ordering is part of the format's contract), and the unlabelled series
+// must appear name-sorted. (Labelled histogram lines sort by their
+// series key, not line-by-line — a series' _sum line legitimately
+// precedes the next series' _bucket lines — so the line-level check
+// covers only the label-free names.)
+func checkMetricsStability(base string) {
+	a, b := scrapeMetrics(base), scrapeMetrics(base)
+	if !bytes.Equal(a, b) {
+		log.Fatalf("/metrics not byte-stable across idle scrapes:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	prev := ""
+	for _, line := range bytes.Split(a, []byte("\n")) {
+		name, _, ok := bytes.Cut(line, []byte(" "))
+		if !ok || bytes.ContainsRune(name, '{') {
+			continue
+		}
+		if cur := string(name); cur < prev {
+			log.Fatalf("/metrics ordering regressed: %q after %q", cur, prev)
+		} else {
+			prev = cur
+		}
+	}
+}
+
+func scrapeMetrics(base string) []byte {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -171,14 +257,5 @@ func checkMetrics(base string, st job.Stats) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	want := map[string]uint64{
-		"job_executions": st.Executions,
-		"job_errors":     0,
-	}
-	for name, v := range want {
-		line := fmt.Sprintf("%s %d\n", name, v)
-		if !bytes.Contains(data, []byte(line)) {
-			log.Fatalf("/metrics missing %q:\n%s", line[:len(line)-1], data)
-		}
-	}
+	return data
 }

@@ -6,6 +6,7 @@
 //	cyclops-bench -list
 //	cyclops-bench -run fig4a,fig7a [-scale full] [-csv outdir]
 //	cyclops-bench -all -scale full [-parallel N]
+//	cyclops-bench -run fig4a -trace-runs trace.json -metrics-out metrics.txt
 //	cyclops-bench -instrate [-samples N] [-bench-json BENCH_sim.json -bench-id pr6]
 //
 // Every experiment point is an independent deterministic simulation, so
@@ -20,7 +21,14 @@
 // sweeps at a content-addressed result cache directory (created on
 // first use): warm entries skip simulation entirely, so a repeated
 // -run renders the same bytes from cache alone, and the directory is
-// shared safely with cyclops-serve. -instrate measures
+// shared safely with cyclops-serve. -trace-runs records every
+// experiment point's run stages (canonicalize, cache lookup, execute,
+// encode, store) as spans and writes them as a Chrome trace-event JSON
+// (load it in Perfetto); -metrics-out writes the run-layer counters and
+// per-stage/per-workload latency histograms in the same sorted text
+// format cyclops-serve's /metrics speaks. Both files are created up
+// front and tracing stays off — and free — unless asked for.
+// -instrate measures
 // exactly the engines' host-side difference: the median
 // simulated-MIPS of each engine on a dispatch-bound loop, appendable as
 // one entry of the BENCH_sim.json trajectory. Timing and errors go to
@@ -30,6 +38,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,6 +48,7 @@ import (
 	"cyclops/internal/harness"
 	"cyclops/internal/harness/sweep"
 	"cyclops/internal/job"
+	"cyclops/internal/obs"
 	"cyclops/internal/resultcache"
 )
 
@@ -59,6 +69,8 @@ func main() {
 	stats := flag.Bool("stats", false, "report the run/stall cycle breakdown for STREAM and FFT (shorthand for -run breakdown)")
 	jf := job.AddFlags(flag.CommandLine)
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; warm entries skip simulation")
+	traceRuns := flag.String("trace-runs", "", "record every experiment point's run stages as spans and write a Chrome trace-event JSON to this file (- = stdout)")
+	metricsOut := flag.String("metrics-out", "", "write the run-layer counters and latency histograms in /metrics text format to this file (- = stdout)")
 	instrate := flag.Bool("instrate", false, "measure the per-engine host-side instruction rate (simMIPS) instead of running experiments")
 	samples := flag.Int("samples", 5, "with -instrate: samples per engine (the median is reported)")
 	benchJSON := flag.String("bench-json", "", "with -instrate: append the measurement to this BENCH_sim.json trajectory file")
@@ -81,6 +93,41 @@ func main() {
 		harness.UseCache(c)
 	}
 
+	// Telemetry outputs are created up front (like cyclops-sim's): a bad
+	// path must fail before hours of sweeps, not after. Tracing stays off
+	// — and free — unless asked for; -metrics-out implies it because the
+	// stage histograms are fed from span durations.
+	outTrace, err := createOut(*traceRuns)
+	if err != nil {
+		fatal(err)
+	}
+	outMetrics, err := createOut(*metricsOut)
+	if err != nil {
+		fatal(err)
+	}
+	if outTrace != nil {
+		harness.Runner.Tracer = obs.NewTracer(benchTraceCapacity)
+	}
+	var metrics *obs.Metrics
+	if outMetrics != nil {
+		metrics = obs.NewMetrics()
+		harness.Runner.Instrument(metrics)
+	}
+	flushTelemetry := func() {
+		if err := outTrace.emit(func(w io.Writer) error {
+			tr := harness.Runner.Tracer
+			if n := tr.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "cyclops-bench: trace ring overflowed, oldest %d spans dropped\n", n)
+			}
+			return obs.WriteSpansChrome(w, tr.Snapshot())
+		}); err != nil {
+			fatal(err)
+		}
+		if err := outMetrics.emit(metrics.WriteText); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *instrate {
 		if *benchJSON != "" && *benchID == "" {
 			fatal(fmt.Errorf("-bench-json needs -bench-id to tag the appended entry"))
@@ -88,6 +135,7 @@ func main() {
 		if err := runInstrate(*samples, *benchJSON, *benchID, *benchNote); err != nil {
 			fatal(err)
 		}
+		flushTelemetry()
 		return
 	}
 
@@ -95,6 +143,7 @@ func main() {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-13s %s\n", e.ID, e.Brief)
 		}
+		flushTelemetry()
 		return
 	}
 	scale, err := harness.ParseScale(*scaleStr)
@@ -148,10 +197,16 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "cyclops-bench: %d/%d experiments in %.2fs (%d workers)\n",
 		len(exps)-failed, len(exps), time.Since(start).Seconds(), sweep.Workers())
+	flushTelemetry()
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
+
+// benchTraceCapacity sizes the -trace-runs span ring: a full -all sweep
+// records well under 100k spans, so a quarter-million keeps everything
+// while bounding a runaway sweep's memory.
+const benchTraceCapacity = 1 << 18
 
 // runExperiments executes the experiments — concurrently when the pool
 // allows it, serially otherwise — returning results in input order. The

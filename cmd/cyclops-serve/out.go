@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// outFile is a pre-created output destination ("-" = stdout, nil = off),
+// the same contract cyclops-sim uses for its output files.
+type outFile struct {
+	path string
+	f    *os.File
+}
+
+// createOut creates (truncating) the named output file immediately, so
+// an unwritable -trace-out path fails at startup instead of discarding
+// the spans at shutdown.
+func createOut(path string) (*outFile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if path == "-" {
+		return &outFile{path: path, f: os.Stdout}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot create output file: %w", err)
+	}
+	return &outFile{path: path, f: f}, nil
+}
+
+// emit streams the output and closes the file; a nil receiver is off.
+func (o *outFile) emit(fn func(io.Writer) error) error {
+	if o == nil {
+		return nil
+	}
+	if o.f == os.Stdout {
+		return fn(o.f)
+	}
+	if err := fn(o.f); err != nil {
+		o.f.Close()
+		return fmt.Errorf("writing %s: %w", o.path, err)
+	}
+	if err := o.f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", o.path, err)
+	}
+	return nil
+}

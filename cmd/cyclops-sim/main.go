@@ -14,7 +14,10 @@
 // profiler (deterministic PC sampling every -sample-every simulated
 // cycles per thread) and writes a gzipped pprof protobuf for
 // `go tool pprof`; -timeline-out writes the interval telemetry timeline
-// as CSV (or JSON when the file ends in .json). Every output file is
+// as CSV (or JSON when the file ends in .json); -metrics-out writes the
+// run's headline counters (cycles, instructions, stalls by reason) and
+// its host wall time in the same sorted text format cyclops-serve's
+// /metrics endpoint speaks. Every output file is
 // created up front, so a bad path fails before the simulation runs
 // rather than after. -engine selects the execution engine (block,
 // decoded or legacy); all three are cycle-exact, they differ only in
@@ -30,6 +33,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"cyclops/internal/arch"
 	"cyclops/internal/asm"
@@ -55,10 +59,11 @@ func main() {
 	sampleEvery := flag.Uint64("sample-every", 64, "profiler sampling interval in simulated cycles per thread")
 	timelineOut := flag.String("timeline-out", "", "write the interval telemetry timeline to this file (.json = JSON, else CSV; - = stdout)")
 	timelineEvery := flag.Uint64("timeline-every", 4096, "telemetry timeline interval in simulated cycles")
+	metricsOut := flag.String("metrics-out", "", "write run counters (cycles, instructions, stalls by reason) and wall time in /metrics text format to this file (- = stdout)")
 	jf := job.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-sim "+job.Usage+" [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] prog.{s,cyc}")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-sim "+job.Usage+" [-max N] [-balanced] [-stats] [-stats-json F] [-trace N] [-trace-out F] [-profile-out F] [-sample-every N] [-timeline-out F] [-timeline-every N] [-metrics-out F] prog.{s,cyc}")
 		os.Exit(2)
 	}
 	eng, pol, lat, err := jf.Resolve()
@@ -71,7 +76,8 @@ func main() {
 		statsJSON: *statsJSON, trace: *trace, traceOut: *traceOut,
 		profileOut: *profileOut, sampleEvery: *sampleEvery,
 		timelineOut: *timelineOut, timelineEvery: *timelineEvery,
-		engine: eng, policy: pol, lat: lat,
+		metricsOut: *metricsOut,
+		engine:     eng, policy: pol, lat: lat,
 	}
 	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-sim:", err)
@@ -85,6 +91,7 @@ type options struct {
 	statsJSON, traceOut        string
 	trace                      int
 	profileOut, timelineOut    string
+	metricsOut                 string
 	sampleEvery, timelineEvery uint64
 	engine                     sim.Engine
 	policy                     sim.Policy
@@ -128,6 +135,10 @@ func run(path string, o options) error {
 	if err != nil {
 		return err
 	}
+	outMetrics, err := createOut(o.metricsOut)
+	if err != nil {
+		return err
+	}
 
 	chip := core.MustNew(o.lat.Apply(arch.Default()))
 	k := kernel.New(chip)
@@ -165,7 +176,9 @@ func run(path string, o options) error {
 	// (the other engines ignore this). Purely host-side: lazily compiled
 	// blocks would behave identically.
 	k.Machine().Precompile(vet.Leaders(prog))
+	wallStart := time.Now()
 	runErr := k.Run()
+	wall := time.Since(wallStart)
 	os.Stdout.Write(k.Output)
 	if o.trace > 0 {
 		fmt.Print(k.Machine().Trace.Dump())
@@ -201,7 +214,28 @@ func run(path string, o options) error {
 	}); err != nil {
 		return err
 	}
+	if err := outMetrics.emit(func(w io.Writer) error {
+		return writeRunMetrics(w, k.Machine(), wall)
+	}); err != nil {
+		return err
+	}
 	return runErr
+}
+
+// writeRunMetrics exports the run's headline numbers in the same sorted
+// text format /metrics serves: simulated cycles and instructions, the
+// stall-cycle breakdown by reason, and the host wall time as a one-shot
+// latency histogram — so a sweep script can scrape simulator runs and a
+// daemon identically.
+func writeRunMetrics(w io.Writer, m *sim.Machine, wall time.Duration) error {
+	reg := obs.NewMetrics()
+	reg.Counter("sim_cycles").Add(m.Cycle())
+	reg.Counter("sim_insts").Add(m.TotalInsts())
+	for r, v := range m.TotalBreakdown() {
+		reg.Counter("sim_stall_" + obs.StallReason(r).String()).Add(v)
+	}
+	reg.Histogram("sim_wall_seconds").Observe(wall)
+	return reg.WriteText(w)
 }
 
 // outFile is a pre-created output destination ("-" = stdout, nil = off).

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cyclops/internal/harness/sweep"
+	"cyclops/internal/obs"
 	"cyclops/internal/resultcache"
 	"cyclops/internal/sim"
 )
@@ -25,6 +27,27 @@ type Stats struct {
 	Errors uint64
 }
 
+// RunInfo reports how one submission was served.
+type RunInfo struct {
+	// Cached: the cache held the result; no execution, no coalescing.
+	Cached bool
+	// Coalesced: an identical execution was already in flight and this
+	// submission joined it instead of running its own.
+	Coalesced bool
+}
+
+// Stage names the per-stage latency series a Runner observes into its
+// metrics registry (job_stage_seconds{stage=...}) and the span names a
+// request trace carries — one vocabulary for both views.
+var Stages = []string{
+	"canonicalize",
+	"cache_lookup",
+	"coalesce_wait",
+	"execute",
+	"encode",
+	"store",
+}
+
 // Runner executes canonical specs: cache first, then a coalesced
 // execution — concurrent submissions of the same key share one run
 // (singleflight) and each decode their own copy of its result. Safe for
@@ -34,6 +57,18 @@ type Runner struct {
 	// Cache, when non-nil, fronts execution. Set it before the first Run;
 	// results are stored under Spec.Key in the canonical Result encoding.
 	Cache *resultcache.Cache
+
+	// Tracer, when non-nil, records every run as a span tree:
+	// canonicalize, cache_lookup (with the cache's tier sub-spans),
+	// coalesce_wait, execute, encode and store, parented under the span
+	// passed to RunEncodedTraced — or under a fresh root per run when
+	// none is (the cyclops-bench -trace-runs mode). Nil tracing costs a
+	// handful of nil checks per run. Set it before the first Run.
+	Tracer *obs.Tracer
+
+	// metrics, when set by Instrument, receives per-stage and
+	// per-workload latency histograms.
+	metrics atomic.Pointer[obs.Metrics]
 
 	mu       sync.Mutex
 	inflight map[resultcache.Key]*call
@@ -51,6 +86,61 @@ type call struct {
 // NewRunner returns a Runner with no cache attached.
 func NewRunner() *Runner {
 	return &Runner{inflight: make(map[resultcache.Key]*call)}
+}
+
+// Instrument registers the runner's operational series into m: the
+// job_* activity counters, the attached cache's cache_* counters and
+// byte gauges, the per-stage job_stage_seconds histograms (one per
+// Stages entry, pre-registered so a fresh daemon exports them at zero)
+// and the per-workload run_seconds histograms (registered lazily as
+// workloads appear). A nil Tracer is replaced with a fresh one — stage
+// timings come from span durations, so instrumenting implies tracing.
+// Call once, after attaching the cache and before the first run.
+func (r *Runner) Instrument(m *obs.Metrics) {
+	if r.Tracer == nil {
+		r.Tracer = obs.NewTracer(0)
+	}
+	stat := func(read func(Stats) uint64) func() uint64 {
+		return func() uint64 { return read(r.Stats()) }
+	}
+	m.Func("job_hits", stat(func(st Stats) uint64 { return st.Hits }))
+	m.Func("job_misses", stat(func(st Stats) uint64 { return st.Misses }))
+	m.Func("job_coalesced", stat(func(st Stats) uint64 { return st.Coalesced }))
+	m.Func("job_executions", stat(func(st Stats) uint64 { return st.Executions }))
+	m.Func("job_errors", stat(func(st Stats) uint64 { return st.Errors }))
+	m.Func("job_inflight", func() uint64 { return uint64(r.Inflight()) })
+	if c := r.Cache; c != nil {
+		cstat := func(read func(resultcache.Counters) uint64) func() uint64 {
+			return func() uint64 { return read(c.Stats()) }
+		}
+		m.Func("cache_mem_hits", cstat(func(ct resultcache.Counters) uint64 { return ct.MemHits }))
+		m.Func("cache_disk_hits", cstat(func(ct resultcache.Counters) uint64 { return ct.DiskHits }))
+		m.Func("cache_misses", cstat(func(ct resultcache.Counters) uint64 { return ct.Misses }))
+		m.Func("cache_corrupt", cstat(func(ct resultcache.Counters) uint64 { return ct.Corrupt }))
+		m.Func("cache_evictions", cstat(func(ct resultcache.Counters) uint64 { return ct.Evictions }))
+		m.Func("cache_puts", cstat(func(ct resultcache.Counters) uint64 { return ct.Puts }))
+		m.Func("cache_mem_bytes", func() uint64 { return uint64(c.MemBytes()) })
+		m.Func("cache_disk_bytes", c.DiskBytes)
+	}
+	for _, stage := range Stages {
+		m.Histogram("job_stage_seconds", "stage", stage)
+	}
+	r.metrics.Store(m)
+}
+
+// observeStage feeds one finished stage span into its latency series.
+func (r *Runner) observeStage(stage string, sp obs.Span) {
+	if m := r.metrics.Load(); m != nil {
+		m.Histogram("job_stage_seconds", "stage", stage).Observe(sp.Dur)
+	}
+}
+
+// observeRun feeds one whole submission (hit or miss alike) into the
+// per-workload run_seconds series.
+func (r *Runner) observeRun(workload string, d time.Duration) {
+	if m := r.metrics.Load(); m != nil {
+		m.Histogram("run_seconds", "workload", workload).Observe(d)
+	}
 }
 
 // Run executes one spec and returns its decoded result. Every return
@@ -73,24 +163,70 @@ func (r *Runner) Run(spec *Spec) (*Result, error) {
 // daemon ships — plus whether the cache served them. Callers must not
 // mutate the returned slice.
 func (r *Runner) RunEncoded(spec *Spec) (data []byte, cached bool, err error) {
+	data, info, err := r.RunEncodedTraced(spec, nil)
+	return data, info.Cached, err
+}
+
+// RunEncodedTraced is RunEncoded with tracing and full serving info:
+// every stage becomes a child span of parent (see Tracer), and the
+// returned RunInfo says whether the cache or a coalesced execution
+// served the bytes. With a nil parent and a non-nil Tracer each run
+// roots its own trace.
+func (r *Runner) RunEncodedTraced(spec *Spec, parent *obs.ActiveSpan) ([]byte, RunInfo, error) {
+	var info RunInfo
+	root := parent
+	ownRoot := root == nil && r.Tracer != nil
+	if ownRoot {
+		root = r.Tracer.StartTrace("run")
+	}
+	var started time.Time
+	if r.metrics.Load() != nil {
+		started = r.Tracer.Now()
+	}
+	data, err := r.runTraced(spec, root, &info)
+	if ownRoot {
+		root.Attr("workload", spec.Workload)
+		root.Attr("cached", fmt.Sprintf("%t", info.Cached))
+		root.End()
+	}
+	if !started.IsZero() {
+		r.observeRun(spec.Workload, r.Tracer.Now().Sub(started))
+	}
+	return data, info, err
+}
+
+// runTraced is the staged body of RunEncodedTraced.
+func (r *Runner) runTraced(spec *Spec, root *obs.ActiveSpan, info *RunInfo) ([]byte, error) {
+	csp := root.Child("canonicalize")
 	canon, err := spec.Canonicalize()
-	if err != nil {
-		return nil, false, err
+	var key resultcache.Key
+	if err == nil {
+		key, err = canon.Key()
 	}
-	key, err := canon.Key()
 	if err != nil {
-		return nil, false, err
+		csp.Attr("error", err.Error())
+		r.observeStage("canonicalize", csp.End())
+		return nil, err
 	}
+	csp.Attr("key", key.String())
+	r.observeStage("canonicalize", csp.End())
+
 	if r.Cache != nil {
-		if data, ok := r.Cache.Get(key); ok {
-			if _, err := DecodeResult(data); err == nil {
+		lsp := root.Child("cache_lookup")
+		if data, ok := r.Cache.GetTraced(key, lsp); ok {
+			if _, derr := DecodeResult(data); derr == nil {
 				r.hits.Add(1)
-				return data, true, nil
+				lsp.Attr("outcome", "hit")
+				r.observeStage("cache_lookup", lsp.End())
+				info.Cached = true
+				return data, nil
 			}
 			// Undecodable despite the cache's integrity check: the entry
 			// predates a Result schema change that forgot a
 			// SemanticsVersion bump. Fall through and re-run.
 		}
+		lsp.Attr("outcome", "miss")
+		r.observeStage("cache_lookup", lsp.End())
 	}
 	r.misses.Add(1)
 
@@ -98,32 +234,54 @@ func (r *Runner) RunEncoded(spec *Spec) (data []byte, cached bool, err error) {
 	if c, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
 		r.coalesced.Add(1)
+		info.Coalesced = true
+		wsp := root.Child("coalesce_wait")
 		<-c.done
-		return c.data, false, c.err
+		r.observeStage("coalesce_wait", wsp.End())
+		return c.data, c.err
 	}
 	c := &call{done: make(chan struct{})}
 	r.inflight[key] = c
 	r.mu.Unlock()
 
-	c.data, c.err = r.execute(canon)
+	esp := root.Child("execute").Attr("workload", canon.Workload)
+	if canon.Engine != "" {
+		esp.Attr("engine", canon.Engine)
+	}
+	res, err := r.execute(canon)
+	r.observeStage("execute", esp.End())
+	if err != nil {
+		c.err = err
+	} else {
+		nsp := root.Child("encode")
+		c.data, c.err = EncodeResult(res)
+		r.observeStage("encode", nsp.End())
+	}
 	if c.err == nil && r.Cache != nil {
 		// A failed store (full disk) must not fail the run; the result
 		// is in hand and the next identical spec simply re-executes.
-		_ = r.Cache.Put(key, c.data)
+		ssp := root.Child("store")
+		_ = r.Cache.PutTraced(key, c.data, ssp)
+		r.observeStage("store", ssp.End())
 	}
 	r.mu.Lock()
 	delete(r.inflight, key)
 	r.mu.Unlock()
 	close(c.done)
 
-	return c.data, false, c.err
+	return c.data, c.err
 }
 
 // Cached returns the canonical encoded result when the cache already
 // holds the spec, counting a hit. It never executes and never counts a
 // miss (a subsequent RunEncoded does) — the serve daemon's
 // answer-hits-without-queueing fast path.
-func (r *Runner) Cached(spec *Spec) ([]byte, bool) {
+func (r *Runner) Cached(spec *Spec) ([]byte, bool) { return r.CachedTraced(spec, nil) }
+
+// CachedTraced is Cached with the lookup recorded as a cache_lookup
+// child span of parent (and the whole probe observed into the
+// per-workload run_seconds series on a hit).
+func (r *Runner) CachedTraced(spec *Spec, parent *obs.ActiveSpan) ([]byte, bool) {
 	if r.Cache == nil {
 		return nil, false
 	}
@@ -135,19 +293,33 @@ func (r *Runner) Cached(spec *Spec) ([]byte, bool) {
 	if err != nil {
 		return nil, false
 	}
-	data, ok := r.Cache.Get(key)
+	var started time.Time
+	if r.metrics.Load() != nil {
+		started = r.Tracer.Now()
+	}
+	lsp := parent.Child("cache_lookup")
+	data, ok := r.Cache.GetTraced(key, lsp)
+	if ok {
+		if _, err := DecodeResult(data); err != nil {
+			ok = false
+		}
+	}
 	if !ok {
+		lsp.Attr("outcome", "miss")
+		r.observeStage("cache_lookup", lsp.End())
 		return nil, false
 	}
-	if _, err := DecodeResult(data); err != nil {
-		return nil, false
-	}
+	lsp.Attr("outcome", "hit")
+	r.observeStage("cache_lookup", lsp.End())
 	r.hits.Add(1)
+	if !started.IsZero() {
+		r.observeRun(canon.Workload, r.Tracer.Now().Sub(started))
+	}
 	return data, true
 }
 
-// execute performs one real run and returns the canonical encoding.
-func (r *Runner) execute(canon *Spec) ([]byte, error) {
+// execute performs one real run and returns the decoded result.
+func (r *Runner) execute(canon *Spec) (*Result, error) {
 	r.executions.Add(1)
 	w, ok := LookupWorkload(canon.Workload)
 	if !ok {
@@ -169,7 +341,7 @@ func (r *Runner) execute(canon *Spec) ([]byte, error) {
 		r.errors.Add(1)
 		return nil, fmt.Errorf("job: %s: %w", canon.Workload, err)
 	}
-	return EncodeResult(res)
+	return res, nil
 }
 
 // RunAll executes the specs across the process-wide sweep worker pool

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram: cumulative-style
+// counts over a fixed ascending list of upper bounds (seconds) plus an
+// implicit +Inf bucket, a total count, and a nanosecond-exact sum.
+// Observe is three atomic adds — cheap enough for the serving hot path
+// — and the bucket layout never changes after construction, so
+// successive exports and merged shards line up bucket for bucket.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, seconds
+	counts []atomic.Uint64 // len(bounds)+1; last = +Inf
+	count  atomic.Uint64
+	sumNs  atomic.Uint64
+}
+
+// ExpBuckets returns n exponential upper bounds: start, start*factor,
+// start*factor², … — the fixed grid every latency series shares.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefaultLatencyBuckets spans 1µs to ~67s in doublings: wide enough for
+// both a memory-tier cache hit and a full-scale simulation.
+func DefaultLatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 27) }
+
+// NewHistogram builds a histogram over the given upper bounds, which
+// must be positive and strictly ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	prev := 0.0
+	for _, b := range bounds {
+		if b <= prev {
+			panic(fmt.Sprintf("obs: histogram bounds must be positive ascending, got %v", bounds))
+		}
+		prev = b
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Values land in the first bucket whose
+// upper bound is >= the value in seconds (le semantics: a value exactly
+// on an edge belongs to that edge's bucket); values past every bound
+// land in +Inf. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[h.bucket(d.Seconds())].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d))
+}
+
+// bucket finds the non-cumulative bucket index for a value in seconds
+// by binary search over the bounds.
+func (h *Histogram) bucket(sec float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < sec {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo // == len(bounds) means +Inf
+}
+
+// Merge adds o's observations into h. The bucket layouts must be
+// identical — merging is for shards of the same series (per-worker
+// histograms folding into a process total), not for re-bucketing.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if b != o.bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bounds at bucket %d (%g vs %g)", i, b, o.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.count.Add(o.count.Load())
+	h.sumNs.Add(o.sumNs.Load())
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts are per-bucket (not cumulative) with the +Inf bucket last.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// Snapshot copies the histogram. Concurrent Observes may land between
+// the bucket reads and the count read; each bucket value is itself
+// consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNs.Load())
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds: the upper
+// bound of the bucket holding the q-th observation — a conservative
+// (over-)estimate, which is the right bias for Retry-After hints. An
+// empty histogram reports 0. Observations in the +Inf bucket report the
+// largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// formatBound renders a bucket bound the way the text export spells it:
+// shortest round-trip decimal, so "1e-06" and "0.016384" stay stable
+// forever.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// formatSeconds renders a nanosecond sum as fixed-point seconds with
+// full nanosecond precision — integer arithmetic, so the export is
+// byte-deterministic for a given sum.
+func formatSeconds(ns uint64) string {
+	return fmt.Sprintf("%d.%09d", ns/1e9, ns%1e9)
+}

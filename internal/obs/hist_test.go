@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	cases := []struct {
+		d    time.Duration
+		want int // non-cumulative bucket index
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Millisecond, 0},              // exactly on an edge: le semantics
+		{time.Millisecond + 1, 1},          // just past the edge
+		{10 * time.Millisecond, 1},         // next edge
+		{100 * time.Millisecond, 2},        // last finite edge
+		{101 * time.Millisecond, 3},        // +Inf
+		{-5 * time.Millisecond, 0},         // negative clamps to zero
+		{10 * time.Second, 3},              // deep overflow
+		{10*time.Millisecond + 1000000, 2}, // 11ms
+	}
+	for _, tc := range cases {
+		h.Observe(tc.d)
+	}
+	snap := h.Snapshot()
+	wantCounts := make([]uint64, 4)
+	for _, tc := range cases {
+		wantCounts[tc.want]++
+	}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket %d count = %d; want %d (counts %v)", i, snap.Counts[i], want, snap.Counts)
+		}
+	}
+	if snap.Count != uint64(len(cases)) {
+		t.Errorf("Count = %d; want %d", snap.Count, len(cases))
+	}
+}
+
+func TestHistogramSumIsNanosecondExact(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(1500 * time.Nanosecond)
+	h.Observe(2500 * time.Nanosecond)
+	if got := h.Snapshot().Sum; got != 4*time.Microsecond {
+		t.Fatalf("Sum = %v; want 4µs", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{0.001, 0.01})
+	b := NewHistogram([]float64{0.001, 0.01})
+	a.Observe(time.Millisecond / 2)
+	b.Observe(time.Millisecond / 2)
+	b.Observe(5 * time.Millisecond)
+	b.Observe(time.Second)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+	if want := []uint64{2, 1, 1}; snap.Counts[0] != want[0] || snap.Counts[1] != want[1] || snap.Counts[2] != want[2] {
+		t.Fatalf("merged counts = %v; want %v", snap.Counts, want)
+	}
+	if snap.Count != 4 {
+		t.Fatalf("merged Count = %d; want 4", snap.Count)
+	}
+	if snap.Sum != time.Millisecond/2*2+5*time.Millisecond+time.Second {
+		t.Fatalf("merged Sum = %v", snap.Sum)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil: %v", err)
+	}
+
+	// Mismatched layouts refuse.
+	if err := a.Merge(NewHistogram([]float64{0.001})); err == nil {
+		t.Fatal("merge accepted different bucket count")
+	}
+	if err := a.Merge(NewHistogram([]float64{0.002, 0.01})); err == nil {
+		t.Fatal("merge accepted different bounds")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	if got := h.Quantile(0.9); got != 0 {
+		t.Fatalf("empty quantile = %g; want 0", got)
+	}
+	// 8 fast, 1 medium, 1 slow.
+	for i := 0; i < 8; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	h.Observe(50 * time.Millisecond)
+	h.Observe(10 * time.Second) // +Inf bucket
+	if got := h.Quantile(0.5); got != 0.001 {
+		t.Errorf("p50 = %g; want 0.001", got)
+	}
+	if got := h.Quantile(0.9); got != 0.1 {
+		t.Errorf("p90 = %g; want 0.1", got)
+	}
+	// +Inf observations report the largest finite bound.
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %g; want 1", got)
+	}
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("q<0 not clamped")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("ExpBuckets = %v; want %v", b, want)
+		}
+	}
+	def := DefaultLatencyBuckets()
+	if len(def) != 27 || def[0] != 1e-6 {
+		t.Fatalf("DefaultLatencyBuckets = %d buckets starting %g", len(def), def[0])
+	}
+	if top := def[len(def)-1]; top < 60 {
+		t.Fatalf("largest default bucket %gs cannot hold a full-scale run", top)
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+		func() { NewHistogram(nil) },
+		func() { NewHistogram([]float64{1, 1}) },
+		func() { NewHistogram([]float64{-1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid bucket construction")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Snapshot()
+					h.Quantile(0.5)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("Count = %d; want 8000", got)
+	}
+}
+
+func TestMetricsHistogramExport(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("alpha").Inc()
+	m.Counter("zeta").Add(2)
+	h := m.Histogram("run_seconds", "workload", "stream")
+	if m.Histogram("run_seconds", "workload", "stream") != h {
+		t.Fatal("same name+labels returned a distinct histogram")
+	}
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(time.Minute) // past the largest finite bound
+
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"alpha 1\n",
+		"zeta 2\n",
+		"run_seconds_bucket{workload=\"stream\",le=\"1e-06\"} 0\n",
+		"run_seconds_bucket{workload=\"stream\",le=\"4e-06\"} 2\n",
+		"run_seconds_bucket{workload=\"stream\",le=\"+Inf\"} 3\n",
+		"run_seconds_count{workload=\"stream\"} 3\n",
+		"run_seconds_sum{workload=\"stream\"} 60.000006000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// The histogram block sorts between alpha and zeta and is internally
+	// ordered buckets -> count -> sum.
+	if !(strings.Index(out, "alpha") < strings.Index(out, "run_seconds_bucket") &&
+		strings.Index(out, "run_seconds_bucket") < strings.Index(out, "run_seconds_count") &&
+		strings.Index(out, "run_seconds_count") < strings.Index(out, "run_seconds_sum") &&
+		strings.Index(out, "run_seconds_sum") < strings.Index(out, "zeta")) {
+		t.Errorf("export block out of order:\n%s", out)
+	}
+
+	// Ordering is byte-stable: a second scrape emits the same lines in
+	// the same order (values included, since nothing moved).
+	var sb2 strings.Builder
+	if err := m.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Errorf("second scrape differs:\n%s\nvs\n%s", sb2.String(), out)
+	}
+
+	// An unlabelled histogram exports bare _count/_sum names.
+	m2 := NewMetrics()
+	m2.Histogram("queue_seconds").Observe(time.Millisecond)
+	var sb3 strings.Builder
+	if err := m2.WriteText(&sb3); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"queue_seconds_bucket{le=\"0.001024\"} 1\n", "queue_seconds_count 1\n", "queue_seconds_sum 0.001000000\n"} {
+		if !strings.Contains(sb3.String(), want) {
+			t.Errorf("unlabelled export missing %q:\n%s", want, sb3.String())
+		}
+	}
+}
+
+func TestMetricsHistogramCollisions(t *testing.T) {
+	for name, set := range map[string]func(m *Metrics){
+		"counter then histogram": func(m *Metrics) { m.Counter("x"); m.Histogram("x") },
+		"func then histogram":    func(m *Metrics) { m.Func("x", func() uint64 { return 0 }); m.Histogram("x") },
+		"histogram then counter": func(m *Metrics) { m.Histogram("x"); m.Counter("x") },
+		"histogram then func":    func(m *Metrics) { m.Histogram("x"); m.Func("x", func() uint64 { return 0 }) },
+		"odd labels":             func(m *Metrics) { m.Histogram("x", "k") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			set(NewMetrics())
+		})
+	}
+}

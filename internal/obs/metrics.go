@@ -4,21 +4,33 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// Metrics is a small named-counter registry with a deterministic text
+// Metrics is a small named-series registry with a deterministic text
 // export, for long-running processes (the cyclops-serve daemon) that
 // need an operational /metrics endpoint without an external metrics
-// dependency. Two kinds of series: owned counters (Counter) and sampled
+// dependency. Three kinds of series: owned counters (Counter), sampled
 // gauges (Func) that read a value at export time — the latter is how
 // existing counter sets (job.Runner stats, resultcache counters) are
-// surfaced without double accounting.
+// surfaced without double accounting — and latency histograms
+// (Histogram), which export as a Prometheus-style bucket/count/sum
+// block under one sorted series name.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	funcs    map[string]func() uint64
+	hists    map[string]*histSeries // key = name{labels}
+	histBase map[string]bool        // histogram base names, for collisions
+}
+
+// histSeries is one registered histogram with its rendered label set.
+type histSeries struct {
+	name   string
+	labels string // `k="v",k2="v2"` or ""
+	h      *Histogram
 }
 
 // NewMetrics returns an empty registry.
@@ -26,6 +38,8 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]*Counter),
 		funcs:    make(map[string]func() uint64),
+		hists:    make(map[string]*histSeries),
+		histBase: make(map[string]bool),
 	}
 }
 
@@ -51,6 +65,9 @@ func (m *Metrics) Counter(name string) *Counter {
 	if _, dup := m.funcs[name]; dup {
 		panic("obs: metric " + name + " already registered as a func")
 	}
+	if m.histBase[name] {
+		panic("obs: metric " + name + " already registered as a histogram")
+	}
 	c, ok := m.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -70,31 +87,85 @@ func (m *Metrics) Func(name string, f func() uint64) {
 	if _, dup := m.funcs[name]; dup {
 		panic("obs: metric " + name + " registered twice")
 	}
+	if m.histBase[name] {
+		panic("obs: metric " + name + " already registered as a histogram")
+	}
 	m.funcs[name] = f
 }
 
-// WriteText exports every series as "name value\n" lines sorted by
-// name, so successive scrapes diff cleanly.
+// Histogram returns the latency histogram for name and the given label
+// key/value pairs, creating it over DefaultLatencyBuckets on first use
+// (same name+labels returns the same histogram, the Counter contract).
+// The name must not collide with a counter or func series; labels
+// distinguish series under one name (`run_seconds{workload="stream"}`).
+func (m *Metrics) Histogram(name string, labels ...string) *Histogram {
+	if len(labels)%2 != 0 {
+		panic("obs: histogram labels must be key/value pairs")
+	}
+	var lb strings.Builder
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			lb.WriteByte(',')
+		}
+		lb.WriteString(labels[i])
+		lb.WriteString(`="`)
+		lb.WriteString(labels[i+1])
+		lb.WriteString(`"`)
+	}
+	key := name
+	if lb.Len() > 0 {
+		key += "{" + lb.String() + "}"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.counters[name]; dup {
+		panic("obs: metric " + name + " already registered as a counter")
+	}
+	if _, dup := m.funcs[name]; dup {
+		panic("obs: metric " + name + " already registered as a func")
+	}
+	hs, ok := m.hists[key]
+	if !ok {
+		hs = &histSeries{name: name, labels: lb.String(), h: NewHistogram(DefaultLatencyBuckets())}
+		m.hists[key] = hs
+		m.histBase[name] = true
+	}
+	return hs.h
+}
+
+// WriteText exports every series sorted by name, so successive scrapes
+// diff cleanly. Counters and funcs print one "name value" line each; a
+// histogram prints its whole block — cumulative le-buckets, then
+// _count, then _sum — at its name's sort position, in a fixed internal
+// order, so the line ordering is byte-stable across scrapes no matter
+// what was observed in between.
 func (m *Metrics) WriteText(w io.Writer) error {
 	m.mu.Lock()
-	names := make([]string, 0, len(m.counters)+len(m.funcs))
+	names := make([]string, 0, len(m.counters)+len(m.funcs)+len(m.hists))
 	for n := range m.counters {
 		names = append(names, n)
 	}
 	for n := range m.funcs {
 		names = append(names, n)
 	}
+	for n := range m.hists {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 	type sample struct {
 		name string
 		read func() uint64
+		hist *histSeries
 	}
 	samples := make([]sample, 0, len(names))
 	for _, n := range names {
-		if c, ok := m.counters[n]; ok {
-			samples = append(samples, sample{n, c.Load})
-		} else {
-			samples = append(samples, sample{n, m.funcs[n]})
+		switch {
+		case m.counters[n] != nil:
+			samples = append(samples, sample{name: n, read: m.counters[n].Load})
+		case m.funcs[n] != nil:
+			samples = append(samples, sample{name: n, read: m.funcs[n]})
+		default:
+			samples = append(samples, sample{name: n, hist: m.hists[n]})
 		}
 	}
 	m.mu.Unlock()
@@ -102,9 +173,49 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	// Sampling happens outside the lock: a Func may itself take locks
 	// (scheduler state), and export must never hold both.
 	for _, s := range samples {
+		if s.hist != nil {
+			if err := s.hist.writeText(w); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", s.name, s.read()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeText renders one histogram series block from a single snapshot,
+// so the cumulative buckets, count and sum are mutually consistent.
+func (hs *histSeries) writeText(w io.Writer) error {
+	snap := hs.h.Snapshot()
+	le := func(bound string) string {
+		if hs.labels == "" {
+			return fmt.Sprintf(`%s_bucket{le="%s"}`, hs.name, bound)
+		}
+		return fmt.Sprintf(`%s_bucket{%s,le="%s"}`, hs.name, hs.labels, bound)
+	}
+	suffix := func(kind string) string {
+		if hs.labels == "" {
+			return hs.name + "_" + kind
+		}
+		return hs.name + "_" + kind + "{" + hs.labels + "}"
+	}
+	var cum uint64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", le(formatBound(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s %d\n", le("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", suffix("count"), cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", suffix("sum"), formatSeconds(uint64(snap.Sum)))
+	return err
 }

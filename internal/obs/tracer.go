@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer is the host-side span layer: where the cycle-accounting stack
+// (StallReason, the timing ledger) explains where *simulated* time goes,
+// the Tracer explains where a service request's *wall* time goes —
+// queueing, cache lookups, coalescing, execution, encoding, storage.
+// Spans form trees under a trace ID (W3C-trace-context shaped, so an
+// HTTP client's traceparent header threads straight through), and
+// finished spans land in a fixed-size lock-free ring: recording is an
+// atomic counter increment plus a pointer store, cheap enough to leave
+// on in the serving hot path.
+//
+// Determinism discipline: IDs come from a seed plus an atomic counter —
+// never from math/rand — and the clock is injectable, so tests pin both
+// and golden-compare whole span trees. A nil *Tracer is valid and free:
+// every method on it and on the nil *ActiveSpan it returns is a no-op,
+// which is how the batch CLIs run untraced without a branch at every
+// call site.
+type Tracer struct {
+	clock     func() time.Time
+	seed      uint64
+	nextTrace atomic.Uint64
+	nextSpan  atomic.Uint64
+
+	ring     []atomic.Pointer[Span]
+	pos      atomic.Uint64 // total spans recorded (ring head = pos % len)
+	dropped  atomic.Uint64 // spans overwritten after the ring lapped
+	capacity int
+}
+
+// TraceID identifies one request tree (16 bytes, W3C trace-context).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (8 bytes, W3C trace-context).
+type SpanID [8]byte
+
+// String returns the ID as lowercase hex (the traceparent wire form).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the ID as lowercase hex (the traceparent wire form).
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// Span is one finished operation: a named interval with attributes,
+// linked to its parent within a trace.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for a root span
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  [][2]string
+}
+
+// DefaultTraceCapacity sizes the span ring when NewTracer gets zero:
+// enough for a few thousand requests' worth of span trees.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a Tracer whose ID seed derives from the wall clock,
+// so concurrently started processes do not collide. capacity <= 0
+// selects DefaultTraceCapacity.
+func NewTracer(capacity int) *Tracer {
+	return NewTracerSeeded(capacity, uint64(time.Now().UnixNano()))
+}
+
+// NewTracerSeeded is NewTracer with an explicit ID seed — the
+// deterministic form tests use (fixed seed + SetClock = golden span
+// trees).
+func NewTracerSeeded(capacity int, seed uint64) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if seed == 0 {
+		seed = 1 // all-zero trace IDs are invalid on the wire
+	}
+	return &Tracer{
+		clock:    time.Now,
+		seed:     seed,
+		ring:     make([]atomic.Pointer[Span], capacity),
+		capacity: capacity,
+	}
+}
+
+// SetClock replaces the time source (tests pin a fixed or stepped
+// clock). Call before the first span starts.
+func (t *Tracer) SetClock(clock func() time.Time) {
+	t.clock = clock
+}
+
+// Now reads the tracer's clock (time.Now unless SetClock replaced it).
+// A nil tracer reads the real clock.
+func (t *Tracer) Now() time.Time {
+	if t == nil {
+		return time.Now()
+	}
+	return t.clock()
+}
+
+// newTraceID mints trace ID n: seed in the high 8 bytes, counter in the
+// low 8 — unique per tracer, deterministic under a fixed seed.
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], t.seed)
+	binary.BigEndian.PutUint64(id[8:], t.nextTrace.Add(1))
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], t.nextSpan.Add(1))
+	return id
+}
+
+// ActiveSpan is a started, not yet finished span. It is owned by one
+// goroutine at a time (hand-off through a channel or mutex is fine);
+// Attr and End must not race. All methods are nil-receiver safe.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// StartTrace begins a new trace rooted at a span named name.
+func (t *Tracer) StartTrace(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return t.start(t.newTraceID(), SpanID{}, name)
+}
+
+// JoinTrace begins this process's root span inside an existing trace —
+// the traceparent-propagation entry point: trace is the caller's trace
+// ID and parent the caller's span.
+func (t *Tracer) JoinTrace(trace TraceID, parent SpanID, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	if trace.IsZero() {
+		return t.StartTrace(name)
+	}
+	return t.start(trace, parent, name)
+}
+
+func (t *Tracer) start(trace TraceID, parent SpanID, name string) *ActiveSpan {
+	return &ActiveSpan{t: t, span: Span{
+		Trace:  trace,
+		ID:     t.newSpanID(),
+		Parent: parent,
+		Name:   name,
+		Start:  t.clock(),
+	}}
+}
+
+// Child starts a sub-span of s. A nil s yields nil, so untraced call
+// paths stay branch-free.
+func (s *ActiveSpan) Child(name string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(s.span.Trace, s.span.ID, name)
+}
+
+// Attr annotates the span. Values are plain strings; format numbers at
+// the call site so goldens stay stable.
+func (s *ActiveSpan) Attr(key, value string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.span.Attrs = append(s.span.Attrs, [2]string{key, value})
+	return s
+}
+
+// TraceID returns the span's trace ID (zero for nil).
+func (s *ActiveSpan) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.span.Trace
+}
+
+// SpanID returns the span's own ID (zero for nil).
+func (s *ActiveSpan) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.span.ID
+}
+
+// End finishes the span, records it into the ring, and returns the
+// finished value (callers feed Span.Dur into latency histograms). A nil
+// s returns a zero Span. End must be called at most once.
+func (s *ActiveSpan) End() Span {
+	if s == nil {
+		return Span{}
+	}
+	s.span.Dur = s.t.clock().Sub(s.span.Start)
+	s.t.record(s.span)
+	return s.span
+}
+
+// record claims the next ring slot with one atomic add and publishes
+// the span with one atomic pointer store. Two writers never share a
+// slot index, so the only race is a reader observing a slot mid-lap —
+// and it then simply sees whichever complete span the pointer held.
+func (t *Tracer) record(sp Span) {
+	n := t.pos.Add(1)
+	if n > uint64(t.capacity) {
+		t.dropped.Add(1)
+	}
+	t.ring[(n-1)%uint64(t.capacity)].Store(&sp)
+}
+
+// Recorded reports how many spans have ever finished; Dropped how many
+// of those the ring has already overwritten.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.pos.Load()
+}
+
+// Dropped reports the spans lost to ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Snapshot returns the retained spans, oldest first by ring position.
+// It is safe against concurrent recording; spans finishing during the
+// snapshot may or may not appear.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	n := t.pos.Load()
+	cap64 := uint64(t.capacity)
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]Span, 0, n-start)
+	for i := start; i < n; i++ {
+		if p := t.ring[i%cap64].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// traceparent is the W3C trace-context header:
+// version "00" - 32 hex trace ID - 16 hex span ID - 2 hex flags.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// FormatTraceparent renders the W3C traceparent header value for a
+// span (flags always "01": sampled).
+func FormatTraceparent(trace TraceID, span SpanID) string {
+	return "00-" + trace.String() + "-" + span.String() + "-01"
+}
+
+// ParseTraceparent reads a W3C traceparent header value. It accepts any
+// version byte (per spec, unknown versions parse as version 00) and
+// rejects malformed or all-zero IDs.
+func ParseTraceparent(s string) (TraceID, SpanID, error) {
+	var trace TraceID
+	var span SpanID
+	if len(s) < traceparentLen || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return trace, span, fmt.Errorf("obs: malformed traceparent %q", s)
+	}
+	if _, err := hex.Decode(trace[:], []byte(s[3:35])); err != nil {
+		return trace, span, fmt.Errorf("obs: malformed traceparent trace ID %q", s[3:35])
+	}
+	if _, err := hex.Decode(span[:], []byte(s[36:52])); err != nil {
+		return trace, span, fmt.Errorf("obs: malformed traceparent span ID %q", s[36:52])
+	}
+	if trace.IsZero() || span.IsZero() {
+		return trace, span, fmt.Errorf("obs: traceparent %q has an all-zero ID", s)
+	}
+	return trace, span, nil
+}
+
+// WriteSpansChrome renders service spans as a Chrome trace-event
+// document through the same writer the simulators use, so a sweep's
+// queueing and coalescing behaviour opens in the same viewer as guest
+// traces. Each trace ID becomes one timeline (tid, in order of first
+// appearance); timestamps are microseconds since the earliest span.
+// Output is deterministic for a given span slice.
+func WriteSpansChrome(w io.Writer, spans []Span) error {
+	if len(spans) == 0 {
+		return WriteChromeTrace(w, nil, nil, nil)
+	}
+	base := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start.Before(base) {
+			base = sp.Start
+		}
+	}
+	tids := make(map[TraceID]int)
+	var threads []TraceThread
+	var slices []TraceSlice
+	for _, sp := range spans {
+		tid, ok := tids[sp.Trace]
+		if !ok {
+			tid = len(tids) + 1
+			tids[sp.Trace] = tid
+			threads = append(threads, TraceThread{PID: 1, TID: tid, Name: "trace " + sp.Trace.String()[:16]})
+		}
+		args := [][2]string{{"span", sp.ID.String()}}
+		if !sp.Parent.IsZero() {
+			args = append(args, [2]string{"parent", sp.Parent.String()})
+		}
+		args = append(args, sp.Attrs...)
+		slices = append(slices, TraceSlice{
+			Name:  sp.Name,
+			PID:   1,
+			TID:   tid,
+			Start: uint64(sp.Start.Sub(base) / time.Microsecond),
+			Dur:   uint64(sp.Dur / time.Microsecond),
+			Args:  args,
+		})
+	}
+	sort.SliceStable(threads, func(i, j int) bool { return threads[i].TID < threads[j].TID })
+	return WriteChromeTrace(w, threads, slices, nil)
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock steps a fake clock by step on every read, so span
+// durations are deterministic.
+type fixedClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fixedClock) read() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+func testTracer(capacity int, step time.Duration) (*Tracer, *fixedClock) {
+	tr := NewTracerSeeded(capacity, 0x42)
+	clk := &fixedClock{now: time.Unix(1700000000, 0).UTC(), step: step}
+	tr.SetClock(clk.read)
+	return tr, clk
+}
+
+func TestTracerDeterministicIDsAndParentage(t *testing.T) {
+	tr, _ := testTracer(16, time.Millisecond)
+	root := tr.StartTrace("request")
+	child := root.Child("execute").Attr("workload", "stream")
+	grand := child.Child("encode")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans; want 3", len(spans))
+	}
+	// Completion order: encode, execute, request.
+	if spans[0].Name != "encode" || spans[1].Name != "execute" || spans[2].Name != "request" {
+		t.Fatalf("span order = %s, %s, %s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	wantTrace := "00000000000000420000000000000001"
+	for _, sp := range spans {
+		if sp.Trace.String() != wantTrace {
+			t.Errorf("%s: trace = %s; want %s", sp.Name, sp.Trace, wantTrace)
+		}
+	}
+	if spans[2].Parent != (SpanID{}) {
+		t.Errorf("root has parent %s", spans[2].Parent)
+	}
+	if spans[1].Parent != spans[2].ID {
+		t.Errorf("execute parent = %s; want root %s", spans[1].Parent, spans[2].ID)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("encode parent = %s; want execute %s", spans[0].Parent, spans[1].ID)
+	}
+	if got := spans[1].Attrs; len(got) != 1 || got[0] != [2]string{"workload", "stream"} {
+		t.Errorf("execute attrs = %v", got)
+	}
+	// Clock steps once per start and once per end: the innermost span
+	// ran for exactly one step … root for five.
+	if spans[0].Dur != time.Millisecond {
+		t.Errorf("encode dur = %v; want 1ms", spans[0].Dur)
+	}
+	if spans[2].Dur != 5*time.Millisecond {
+		t.Errorf("request dur = %v; want 5ms", spans[2].Dur)
+	}
+
+	// A second identically seeded tracer with the same call sequence
+	// mints the same IDs.
+	tr2, _ := testTracer(16, time.Millisecond)
+	root2 := tr2.StartTrace("request")
+	if root2.TraceID() != root.TraceID() || root2.SpanID() != root.SpanID() {
+		t.Error("seeded tracers diverged on identical call sequences")
+	}
+}
+
+func TestTracerJoinTraceAdoptsCallerIDs(t *testing.T) {
+	tr, _ := testTracer(16, time.Millisecond)
+	trace, parent, err := ParseTraceparent("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tr.JoinTrace(trace, parent, "request")
+	got := sp.End()
+	if got.Trace != trace {
+		t.Errorf("joined trace = %s; want %s", got.Trace, trace)
+	}
+	if got.Parent != parent {
+		t.Errorf("joined parent = %s; want %s", got.Parent, parent)
+	}
+	// A zero trace ID falls back to a fresh trace.
+	fresh := tr.JoinTrace(TraceID{}, SpanID{}, "request").End()
+	if fresh.Trace.IsZero() {
+		t.Error("JoinTrace with zero trace minted a zero trace ID")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr, _ := testTracer(16, 0)
+	sp := tr.StartTrace("request")
+	header := FormatTraceparent(sp.TraceID(), sp.SpanID())
+	trace, span, err := ParseTraceparent(header)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", header, err)
+	}
+	if trace != sp.TraceID() || span != sp.SpanID() {
+		t.Fatalf("round trip %q -> %s/%s; want %s/%s", header, trace, span, sp.TraceID(), sp.SpanID())
+	}
+
+	bad := []string{
+		"",
+		"00-short-00f067aa0ba902b7-01",
+		"00-0123456789abcdef0123456789abcdef-badhex!!!!!!!!!!-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span
+		"000123456789abcdef0123456789abcdef00f067aa0ba902b701",    // no dashes
+	}
+	for _, s := range bad {
+		if _, _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+}
+
+func TestTracerNilIsFree(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartTrace("request")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	child := sp.Child("inner").Attr("k", "v")
+	if got := child.End(); got.Dur != 0 || got.Name != "" {
+		t.Fatalf("nil span End = %+v; want zero", got)
+	}
+	if tr.Snapshot() != nil || tr.Recorded() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reported recorded spans")
+	}
+	if tr.Now().IsZero() {
+		t.Fatal("nil tracer Now returned zero time")
+	}
+}
+
+func TestTracerRingBoundsAndConcurrency(t *testing.T) {
+	const capacity = 64
+	const workers = 8
+	const perWorker = 200
+	tr := NewTracerSeeded(capacity, 7)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.StartTrace("request")
+				root.Child("stage").Attr("i", "x").End()
+				root.End()
+				// Interleave readers with writers.
+				if i%50 == 0 {
+					tr.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(workers * perWorker * 2)
+	if got := tr.Recorded(); got != total {
+		t.Fatalf("Recorded = %d; want %d", got, total)
+	}
+	if got := tr.Dropped(); got != total-capacity {
+		t.Fatalf("Dropped = %d; want %d", got, total-capacity)
+	}
+	spans := tr.Snapshot()
+	if len(spans) > capacity {
+		t.Fatalf("snapshot retained %d spans; ring capacity is %d", len(spans), capacity)
+	}
+	for _, sp := range spans {
+		if sp.Name != "request" && sp.Name != "stage" {
+			t.Fatalf("torn span in snapshot: %+v", sp)
+		}
+	}
+}
+
+func TestWriteSpansChrome(t *testing.T) {
+	tr, _ := testTracer(16, time.Millisecond)
+	root := tr.StartTrace("request")
+	root.Child("execute").Attr("workload", "fft").End()
+	root.End()
+	other := tr.StartTrace("request")
+	other.End()
+
+	var sb strings.Builder
+	if err := WriteSpansChrome(&sb, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"thread_name"`,
+		`"trace 0000000000000042"`,
+		`"execute"`,
+		`"workload":"fft"`,
+		`"ph":"X"`,
+		`"parent"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+	// Two traces -> two timelines.
+	if got := strings.Count(out, `"thread_name"`); got != 2 {
+		t.Errorf("got %d timelines; want 2", got)
+	}
+
+	var empty strings.Builder
+	if err := WriteSpansChrome(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "traceEvents") {
+		t.Errorf("empty export = %q", empty.String())
+	}
+}

@@ -23,10 +23,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"cyclops/internal/obs"
 )
 
 // Key is a job spec's content hash (SHA-256 over the canonical spec
@@ -92,6 +96,11 @@ type Cache struct {
 	memUse int
 
 	memHits, diskHits, misses, corrupt, evictions, puts atomic.Uint64
+
+	// diskBytes tracks the disk tier's payload footprint (framed entry
+	// sizes): seeded by a directory walk at Open, then maintained by
+	// writes and corrupt-entry evictions — the /metrics byte gauge.
+	diskBytes atomic.Int64
 }
 
 type memEntry struct {
@@ -136,7 +145,27 @@ func Open(dir, keyScheme string, memBytes int) (*Cache, error) {
 	}
 	c := OpenMemory(memBytes)
 	c.dir = dir
+	c.diskBytes.Store(scanDiskBytes(dir))
 	return c, nil
+}
+
+// scanDiskBytes sums the existing entry files so the byte gauge starts
+// truthful on a warm cache. Orphaned temp files are skipped: they are
+// not entries and a crashed writer's leftovers should not inflate the
+// gauge.
+func scanDiskBytes(dir string) int64 {
+	var total int64
+	root := filepath.Join(dir, "objects")
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || len(d.Name()) != 2*sha256.Size {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
 }
 
 // checkDir validates or initialises the cache directory and manifest.
@@ -185,21 +214,32 @@ func (c *Cache) Dir() string { return c.dir }
 // first and falling back to disk. A disk hit is promoted into memory.
 // The returned slice must be treated as read-only (memory-tier hits
 // share it).
-func (c *Cache) Get(k Key) ([]byte, bool) {
+func (c *Cache) Get(k Key) ([]byte, bool) { return c.GetTraced(k, nil) }
+
+// GetTraced is Get with span recording: the memory and disk lookups
+// (and the disk entry's digest verification) become child spans of
+// parent, so a request trace shows which tier served it and what the
+// verification cost. A nil parent records nothing and costs nothing.
+func (c *Cache) GetTraced(k Key, parent *obs.ActiveSpan) ([]byte, bool) {
+	msp := parent.Child("cache.mem")
 	c.mu.Lock()
 	if el, ok := c.index[k]; ok {
 		c.lru.MoveToFront(el)
 		data := el.Value.(*memEntry).data
 		c.mu.Unlock()
 		c.memHits.Add(1)
+		msp.Attr("outcome", "hit").End()
 		return data, true
 	}
 	c.mu.Unlock()
+	msp.Attr("outcome", "miss").End()
 	if c.dir == "" {
 		c.misses.Add(1)
 		return nil, false
 	}
-	data, ok := c.readDisk(k)
+	dsp := parent.Child("cache.disk")
+	data, ok := c.readDisk(k, dsp)
+	dsp.End()
 	if !ok {
 		c.misses.Add(1)
 		return nil, false
@@ -212,9 +252,16 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 // Put stores data under k in both tiers. Storing the same key again is
 // a no-op at the callers' level of abstraction (deterministic results),
 // so the last write simply wins.
-func (c *Cache) Put(k Key, data []byte) error {
+func (c *Cache) Put(k Key, data []byte) error { return c.PutTraced(k, data, nil) }
+
+// PutTraced is Put with the disk write recorded as a child span of
+// parent (attrs: payload bytes). A nil parent records nothing.
+func (c *Cache) PutTraced(k Key, data []byte, parent *obs.ActiveSpan) error {
 	if c.dir != "" {
-		if err := c.writeDisk(k, data); err != nil {
+		wsp := parent.Child("cache.write").Attr("bytes", strconv.Itoa(len(data)))
+		err := c.writeDisk(k, data)
+		wsp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -261,30 +308,42 @@ func (c *Cache) entryPath(k Key) string {
 	return filepath.Join(c.dir, "objects", hexKey[:2], hexKey)
 }
 
-// readDisk loads and verifies one disk entry. Any verification failure
+// readDisk loads and verifies one disk entry, annotating sp (the
+// enclosing cache.disk span) with the outcome. Any verification failure
 // deletes the entry (corrupt-entry eviction) and reads as a miss.
-func (c *Cache) readDisk(k Key) ([]byte, bool) {
+func (c *Cache) readDisk(k Key, sp *obs.ActiveSpan) ([]byte, bool) {
 	path := c.entryPath(k)
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		sp.Attr("outcome", "miss")
 		return nil, false
 	}
+	vsp := sp.Child("cache.verify").Attr("bytes", strconv.Itoa(len(raw)))
 	header := len(entryMagic) + sha256.Size
 	if len(raw) < header || string(raw[:len(entryMagic)]) != entryMagic {
+		vsp.Attr("ok", "false").End()
+		sp.Attr("outcome", "corrupt")
 		c.evictCorrupt(path)
 		return nil, false
 	}
 	payload := raw[header:]
 	sum := sha256.Sum256(payload)
 	if !bytes.Equal(sum[:], raw[len(entryMagic):header]) {
+		vsp.Attr("ok", "false").End()
+		sp.Attr("outcome", "corrupt")
 		c.evictCorrupt(path)
 		return nil, false
 	}
+	vsp.Attr("ok", "true").End()
+	sp.Attr("outcome", "hit")
 	return payload, true
 }
 
 func (c *Cache) evictCorrupt(path string) {
 	c.corrupt.Add(1)
+	if info, err := os.Stat(path); err == nil {
+		c.diskBytes.Add(-info.Size())
+	}
 	os.Remove(path)
 }
 
@@ -301,9 +360,14 @@ func (c *Cache) writeDisk(k Key, data []byte) error {
 	buf = append(buf, entryMagic...)
 	buf = append(buf, sum[:]...)
 	buf = append(buf, data...)
+	var old int64
+	if info, err := os.Stat(path); err == nil {
+		old = info.Size() // overwrite: the gauge tracks the delta
+	}
 	if err := writeAtomic(path, buf); err != nil {
 		return fmt.Errorf("resultcache: %w", err)
 	}
+	c.diskBytes.Add(int64(len(buf)) - old)
 	return nil
 }
 
@@ -348,4 +412,21 @@ func (c *Cache) MemLen() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// MemBytes reports the memory tier's current byte footprint.
+func (c *Cache) MemBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memUse
+}
+
+// DiskBytes reports the disk tier's framed-entry byte footprint (0 for
+// a memory-only cache).
+func (c *Cache) DiskBytes() uint64 {
+	n := c.diskBytes.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
 }

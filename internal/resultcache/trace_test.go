@@ -1,0 +1,141 @@
+package resultcache
+
+import (
+	"os"
+	"testing"
+
+	"cyclops/internal/obs"
+)
+
+// The disk-byte gauge tracks exactly what du would report for the
+// object tree: writes add, re-writes of identical content are neutral,
+// corrupt evictions subtract, and a fresh Open re-seeds from a scan.
+func TestDiskBytesGauge(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, "scheme/1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DiskBytes(); got != 0 {
+		t.Fatalf("fresh cache DiskBytes = %d; want 0", got)
+	}
+	a, b := testKey(1), testKey(2)
+	if err := c.Put(a, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(b, []byte("a somewhat longer payload")); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, k := range []Key{a, b} {
+		fi, err := os.Stat(c.entryPath(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += uint64(fi.Size())
+	}
+	if got := c.DiskBytes(); got != want {
+		t.Fatalf("DiskBytes = %d; want %d (sum of entry files)", got, want)
+	}
+
+	// Same key, same bytes: the gauge must not double-count.
+	if err := c.Put(a, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DiskBytes(); got != want {
+		t.Fatalf("DiskBytes after identical re-put = %d; want %d", got, want)
+	}
+
+	// Reopen seeds the gauge from the directory scan.
+	c2, err := Open(dir, "scheme/1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.DiskBytes(); got != want {
+		t.Fatalf("DiskBytes after reopen = %d; want %d", got, want)
+	}
+
+	// A corrupt entry's eviction subtracts its size.
+	path := c2.entryPath(a)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(a); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if got := c2.DiskBytes(); got != want-uint64(fi.Size()) {
+		t.Fatalf("DiskBytes after corrupt eviction = %d; want %d", got, want-uint64(fi.Size()))
+	}
+}
+
+// GetTraced and PutTraced record the tier spans: a write span with a
+// byte count, then — after the memory tier is dropped by a reopen — a
+// mem miss, a disk probe and a verify child reporting success.
+func TestTracedTierSpans(t *testing.T) {
+	dir := t.TempDir()
+	tr := obs.NewTracer(0)
+	c, err := Open(dir, "scheme/1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(5)
+	root := tr.StartTrace("test")
+	if err := c.PutTraced(k, []byte("traced payload"), root); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, "scheme/1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.GetTraced(k, root); !ok {
+		t.Fatal("disk entry missing")
+	}
+	root.End()
+
+	byName := map[string]obs.Span{}
+	for _, sp := range tr.Snapshot() {
+		byName[sp.Name] = sp
+	}
+	attr := func(sp obs.Span, key string) string {
+		for _, kv := range sp.Attrs {
+			if kv[0] == key {
+				return kv[1]
+			}
+		}
+		return ""
+	}
+	wsp, ok := byName["cache.write"]
+	if !ok || attr(wsp, "bytes") != "14" {
+		t.Errorf("cache.write span = %+v; want bytes=14", wsp)
+	}
+	msp, ok := byName["cache.mem"]
+	if !ok || attr(msp, "outcome") != "miss" {
+		t.Errorf("cache.mem span = %+v; want outcome=miss", msp)
+	}
+	dsp, ok := byName["cache.disk"]
+	if !ok || attr(dsp, "outcome") != "hit" {
+		t.Errorf("cache.disk span = %+v; want outcome=hit", dsp)
+	}
+	vsp, ok := byName["cache.verify"]
+	if !ok || attr(vsp, "ok") != "true" {
+		t.Errorf("cache.verify span = %+v; want ok=true", vsp)
+	}
+	if vsp.Parent != dsp.ID {
+		t.Errorf("cache.verify parent = %s; want the cache.disk span %s", vsp.Parent, dsp.ID)
+	}
+	for _, name := range []string{"cache.write", "cache.mem", "cache.disk"} {
+		if byName[name].Parent != root.SpanID() {
+			t.Errorf("%s parent = %s; want the root %s", name, byName[name].Parent, root.SpanID())
+		}
+	}
+}

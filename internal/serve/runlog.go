@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// RunRecord is the operational summary of one completed POST /v1/run
+// request: what ran, how it was served, and where its wall time went.
+// It is both the access-log line (one JSON object per line) and the
+// /debug/runs entry; field order is the struct order, so logs are
+// byte-deterministic for a given record.
+type RunRecord struct {
+	// Time is the request arrival stamp (RFC 3339, UTC, nanoseconds).
+	Time string `json:"time"`
+	// Trace is the request's trace ID — paste it into a span dump or a
+	// Chrome trace to find the request's full tree.
+	Trace string `json:"trace"`
+	// Client is the fairness-queue identity the request ran under.
+	Client string `json:"client"`
+	// Key is the canonical spec key ("" when the spec never parsed).
+	Key string `json:"key,omitempty"`
+	// Workload names what ran ("" when the spec never parsed).
+	Workload string `json:"workload,omitempty"`
+	// Status is the HTTP status served.
+	Status int `json:"status"`
+	// Cached: the cache served the bytes. Coalesced: the request joined
+	// an identical in-flight execution.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+	// QueueDepth is the number of requests already pending when this
+	// one was submitted (0 for cache hits, which never queue).
+	QueueDepth int `json:"queue_depth"`
+	// QueueSeconds and RunSeconds split the served time into
+	// waiting-for-a-worker and running-the-job; TotalSeconds is the
+	// whole handler, decode to reply.
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+	// Error carries the served error message for non-200 statuses.
+	Error string `json:"error,omitempty"`
+}
+
+// runLog is a bounded ring of recent RunRecords backing /debug/runs.
+type runLog struct {
+	mu    sync.Mutex
+	buf   []RunRecord
+	next  int // slot the next record lands in
+	total int // records ever added
+}
+
+func newRunLog(capacity int) *runLog {
+	return &runLog{buf: make([]RunRecord, capacity)}
+}
+
+func (l *runLog) add(rec RunRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = rec
+	l.next = (l.next + 1) % len(l.buf)
+	l.total++
+}
+
+// snapshot returns the retained records, newest first (the order an
+// operator wants when tailing recent activity).
+func (l *runLog) snapshot() []RunRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.total
+	if n > len(l.buf) {
+		n = len(l.buf)
+	}
+	out := make([]RunRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// accessLog serialises RunRecords onto one writer, one JSON line each.
+type accessLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (a *accessLog) write(rec RunRecord) {
+	if a == nil || a.w == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _ = a.w.Write(line)
+}

@@ -4,16 +4,32 @@ import (
 	"sync"
 
 	"cyclops/internal/job"
+	"cyclops/internal/obs"
 )
 
-// task is one queued simulation request.
+// task is one queued simulation request, carrying its trace context:
+// the request's root span (parent for the runner's stage spans) and the
+// queue_wait span, started at submit and ended at dispatch so the span
+// tree shows exactly how long the request sat behind other clients.
 type task struct {
 	spec *job.Spec
-	// done closes once data/cached/err are final.
-	done   chan struct{}
-	data   []byte
-	cached bool
-	err    error
+	// parent is the request's root span; the worker parents all run
+	// stages under it.
+	parent *obs.ActiveSpan
+	// queued is the queue_wait span (nil when untraced); its End at
+	// dispatch yields the queue-wait duration.
+	queued *obs.ActiveSpan
+	// done closes once data/info/err are final.
+	done chan struct{}
+	data []byte
+	info job.RunInfo
+	err  error
+	// queueWait is the measured queue_wait duration in seconds and
+	// runSeconds the runner's share (dispatch to done).
+	queueWait  float64
+	runSeconds float64
+	// depth is the number of already-pending tasks observed at submit.
+	depth int
 }
 
 // scheduler dispatches queued tasks to a bounded worker set with
@@ -24,6 +40,10 @@ type task struct {
 // executions compete here.
 type scheduler struct {
 	runner *job.Runner
+
+	// observeQueueWait, when set, receives each task's queue_wait span
+	// at dispatch (the server feeds the queue-wait histogram).
+	observeQueueWait func(obs.Span)
 
 	mu      sync.Mutex
 	queues  map[string]*clientQueue
@@ -50,14 +70,16 @@ func newScheduler(runner *job.Runner, workers, limit int) *scheduler {
 }
 
 // submit enqueues t for client. When the queue is full it refuses and
-// returns a Retry-After estimate in seconds (pending work over worker
-// count; at least one).
-func (s *scheduler) submit(client string, t *task) (ok bool, retryAfter int) {
+// reports the pending count, from which the server derives a
+// latency-informed Retry-After estimate.
+func (s *scheduler) submit(client string, t *task) (ok bool, pending int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pending >= s.limit {
-		return false, s.pending/s.workers + 1
+		return false, s.pending
 	}
+	t.depth = s.pending
+	t.queued = t.parent.Child("queue_wait")
 	q := s.queues[client]
 	if q == nil {
 		q = &clientQueue{id: client}
@@ -67,7 +89,7 @@ func (s *scheduler) submit(client string, t *task) (ok bool, retryAfter int) {
 	q.tasks = append(q.tasks, t)
 	s.pending++
 	s.dispatchLocked()
-	return true, 0
+	return true, s.pending
 }
 
 // dispatchLocked starts tasks while workers are free. Every queue in
@@ -98,7 +120,16 @@ func (s *scheduler) dispatchLocked() {
 
 // run executes one task and recycles the worker slot.
 func (s *scheduler) run(t *task) {
-	t.data, t.cached, t.err = s.runner.RunEncoded(t.spec)
+	if t.queued != nil {
+		sp := t.queued.End()
+		t.queueWait = sp.Dur.Seconds()
+		if s.observeQueueWait != nil {
+			s.observeQueueWait(sp)
+		}
+	}
+	started := s.runner.Tracer.Now()
+	t.data, t.info, t.err = s.runner.RunEncodedTraced(t.spec, t.parent)
+	t.runSeconds = s.runner.Tracer.Now().Sub(started).Seconds()
 	close(t.done)
 	s.mu.Lock()
 	s.busy--

@@ -7,22 +7,35 @@
 // warm daemon, a cold daemon and a local harness sweep all ship
 // identical results for identical specs.
 //
+// Every request is traced end to end: the handler roots a span tree
+// (joining the client's W3C traceparent when one is sent, and echoing
+// the trace back in the response header and body), the scheduler
+// records the queue wait, and the job and cache layers hang their
+// stage spans — cache lookup, coalesce, execute, encode, store —
+// underneath. Per-stage and per-workload latency histograms land on
+// /metrics, a JSON access log records one line per run, and a bounded
+// ring of recent runs serves /debug/runs.
+//
 // Endpoints:
 //
 //	POST /v1/run           run a spec (or fetch its cached result)
 //	GET  /v1/result/{key}  fetch a result by spec key, cache-only
 //	GET  /v1/workloads     list registered workloads + semantics version
-//	GET  /healthz          liveness
-//	GET  /metrics          counter export (sorted "name value" lines)
+//	GET  /healthz          liveness: uptime, semantics, queue depth
+//	GET  /metrics          counter + histogram export (sorted text lines)
+//	GET  /debug/runs       recent run records, newest first (JSON)
 package serve
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 
 	"cyclops/internal/job"
 	_ "cyclops/internal/job/workloads" // register the named workloads
@@ -43,26 +56,48 @@ type Config struct {
 	// QueueLimit bounds queued-but-not-running requests across all
 	// clients; past it, submissions get 429 + Retry-After (0 = 64).
 	QueueLimit int
+	// AccessLog, when non-nil, receives one JSON RunRecord line per
+	// completed POST /v1/run request.
+	AccessLog io.Writer
+	// RecentRuns bounds the /debug/runs ring (0 = DefaultRecentRuns).
+	RecentRuns int
+	// Tracer overrides the server's span recorder — tests pin its seed
+	// and clock for golden traces; nil builds a fresh default tracer.
+	// The server's own clock (uptime, access-log stamps) is the
+	// tracer's clock, so pinning one pins both.
+	Tracer *obs.Tracer
 }
 
-// DefaultWorkers and DefaultQueueLimit are the Config zero-value sizes.
+// DefaultWorkers and DefaultQueueLimit are the Config zero-value sizes;
+// DefaultRecentRuns bounds the /debug/runs ring.
 const (
 	DefaultWorkers    = 4
 	DefaultQueueLimit = 64
+	DefaultRecentRuns = 256
 )
 
 // Server is the daemon state: one Runner (cache + singleflight) behind
-// one fairness scheduler.
+// one fairness scheduler, plus the telemetry stack (tracer, metrics,
+// recent-run ring, access log).
 type Server struct {
 	runner  *job.Runner
 	sched   *scheduler
 	metrics *obs.Metrics
+	tracer  *obs.Tracer
 	mux     *http.ServeMux
+	recent  *runLog
+	access  *accessLog
+	start   time.Time
+	workers int
+	limit   int
 
-	requests    *obs.Counter
-	badRequests *obs.Counter
-	queueFull   *obs.Counter
-	runErrors   *obs.Counter
+	requests       *obs.Counter
+	badRequests    *obs.Counter
+	queueFull      *obs.Counter
+	runErrors      *obs.Counter
+	requestSeconds *obs.Histogram
+	queueSeconds   *obs.Histogram
+	executeSeconds *obs.Histogram // shared with the runner's stage series
 }
 
 // New builds a Server. Cache-directory validation happens here, so a
@@ -87,42 +122,47 @@ func New(cfg Config) (*Server, error) {
 	if limit <= 0 {
 		limit = DefaultQueueLimit
 	}
+	recent := cfg.RecentRuns
+	if recent <= 0 {
+		recent = DefaultRecentRuns
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(0)
+	}
+	runner.Tracer = tracer
 	s := &Server{
 		runner:  runner,
 		sched:   newScheduler(runner, workers, limit),
 		metrics: obs.NewMetrics(),
+		tracer:  tracer,
 		mux:     http.NewServeMux(),
+		recent:  newRunLog(recent),
+		access:  &accessLog{w: cfg.AccessLog},
+		workers: workers,
+		limit:   limit,
 	}
+	s.start = tracer.Now()
 	s.requests = s.metrics.Counter("serve_requests")
 	s.badRequests = s.metrics.Counter("serve_bad_requests")
 	s.queueFull = s.metrics.Counter("serve_queue_full")
 	s.runErrors = s.metrics.Counter("serve_run_errors")
-	stat := func(read func(job.Stats) uint64) func() uint64 {
-		return func() uint64 { return read(runner.Stats()) }
-	}
-	s.metrics.Func("job_hits", stat(func(st job.Stats) uint64 { return st.Hits }))
-	s.metrics.Func("job_misses", stat(func(st job.Stats) uint64 { return st.Misses }))
-	s.metrics.Func("job_coalesced", stat(func(st job.Stats) uint64 { return st.Coalesced }))
-	s.metrics.Func("job_executions", stat(func(st job.Stats) uint64 { return st.Executions }))
-	s.metrics.Func("job_errors", stat(func(st job.Stats) uint64 { return st.Errors }))
-	cstat := func(read func(resultcache.Counters) uint64) func() uint64 {
-		return func() uint64 { return read(runner.Cache.Stats()) }
-	}
-	s.metrics.Func("cache_mem_hits", cstat(func(c resultcache.Counters) uint64 { return c.MemHits }))
-	s.metrics.Func("cache_disk_hits", cstat(func(c resultcache.Counters) uint64 { return c.DiskHits }))
-	s.metrics.Func("cache_misses", cstat(func(c resultcache.Counters) uint64 { return c.Misses }))
-	s.metrics.Func("cache_corrupt", cstat(func(c resultcache.Counters) uint64 { return c.Corrupt }))
-	s.metrics.Func("cache_evictions", cstat(func(c resultcache.Counters) uint64 { return c.Evictions }))
-	s.metrics.Func("cache_puts", cstat(func(c resultcache.Counters) uint64 { return c.Puts }))
+	runner.Instrument(s.metrics) // job_*, cache_*, stage + workload histograms
+	s.requestSeconds = s.metrics.Histogram("serve_request_seconds")
+	s.queueSeconds = s.metrics.Histogram("serve_queue_wait_seconds")
+	s.executeSeconds = s.metrics.Histogram("job_stage_seconds", "stage", "execute")
+	s.sched.observeQueueWait = func(sp obs.Span) { s.queueSeconds.Observe(sp.Dur) }
 	s.metrics.Func("sched_pending", func() uint64 { p, _ := s.sched.load(); return uint64(p) })
 	s.metrics.Func("sched_busy", func() uint64 { _, b := s.sched.load(); return uint64(b) })
-	s.metrics.Func("job_inflight", func() uint64 { return uint64(runner.Inflight()) })
+	s.metrics.Func("trace_spans", s.tracer.Recorded)
+	s.metrics.Func("trace_spans_dropped", s.tracer.Dropped)
 
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/runs", s.handleDebugRuns)
 	return s, nil
 }
 
@@ -132,60 +172,140 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Runner exposes the underlying runner (tests and in-process CI lanes).
 func (s *Server) Runner() *job.Runner { return s.runner }
 
-// runResponse is the POST /v1/run body: the spec's content key, whether
-// the cache served it, and the canonical result encoding verbatim.
+// Tracer exposes the span recorder (the -trace-out shutdown dump and
+// in-process CI lanes).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// runResponse is the POST /v1/run body: the spec's content key, the
+// request's trace ID, whether the cache served it, and the canonical
+// result encoding verbatim.
 type runResponse struct {
 	Key    string          `json:"key"`
+	Trace  string          `json:"trace"`
 	Cached bool            `json:"cached"`
 	Result json.RawMessage `json:"result"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	started := s.tracer.Now()
+	client := clientID(r)
+
+	// Join the caller's trace when it sent a well-formed traceparent,
+	// start a fresh one otherwise, and echo the context back so the
+	// caller can correlate its logs with /debug/runs and span dumps.
+	var root *obs.ActiveSpan
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if trace, parent, err := obs.ParseTraceparent(tp); err == nil {
+			root = s.tracer.JoinTrace(trace, parent, "request")
+		}
+	}
+	if root == nil {
+		root = s.tracer.StartTrace("request")
+	}
+	root.Attr("client", client)
+	w.Header().Set("traceparent", obs.FormatTraceparent(root.TraceID(), root.SpanID()))
+
+	rec := RunRecord{
+		Time:   started.UTC().Format(time.RFC3339Nano),
+		Trace:  root.TraceID().String(),
+		Client: client,
+	}
+	finish := func(status int, errText string) {
+		rec.Status = status
+		rec.Error = errText
+		rec.TotalSeconds = s.tracer.Now().Sub(started).Seconds()
+		root.Attr("status", strconv.Itoa(status))
+		s.requestSeconds.Observe(root.End().Dur)
+		s.recent.add(rec)
+		s.access.write(rec)
+	}
+
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var spec job.Spec
 	if err := dec.Decode(&spec); err != nil {
 		s.badRequests.Inc()
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		err = fmt.Errorf("decoding spec: %w", err)
+		httpError(w, http.StatusBadRequest, err)
+		finish(http.StatusBadRequest, err.Error())
 		return
 	}
+	rec.Workload = spec.Workload
 	canon, err := spec.Canonicalize()
 	if err != nil {
 		s.badRequests.Inc()
 		httpError(w, http.StatusBadRequest, err)
+		finish(http.StatusBadRequest, err.Error())
 		return
 	}
 	key, err := canon.Key()
 	if err != nil {
 		s.badRequests.Inc()
 		httpError(w, http.StatusBadRequest, err)
+		finish(http.StatusBadRequest, err.Error())
 		return
 	}
+	rec.Key = key.String()
+	root.Attr("key", key.String())
 
 	// Hits bypass the queue: they cost a map lookup, not a worker.
-	if data, ok := s.runner.Cached(canon); ok {
-		writeRun(w, key, true, data)
+	if data, ok := s.runner.CachedTraced(canon, root); ok {
+		rec.Cached = true
+		s.writeRun(w, key, root, true, data)
+		finish(http.StatusOK, "")
 		return
 	}
-	t := &task{spec: canon, done: make(chan struct{})}
-	ok, retry := s.sched.submit(clientID(r), t)
+	t := &task{spec: canon, parent: root, done: make(chan struct{})}
+	ok, pending := s.sched.submit(client, t)
 	if !ok {
 		s.queueFull.Inc()
+		rec.QueueDepth = pending
+		retry := s.retryAfter(pending)
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		httpError(w, http.StatusTooManyRequests, fmt.Errorf("queue full, retry in ~%ds", retry))
+		err := fmt.Errorf("queue full, retry in ~%ds", retry)
+		httpError(w, http.StatusTooManyRequests, err)
+		finish(http.StatusTooManyRequests, err.Error())
 		return
 	}
 	<-t.done
+	rec.Cached = t.info.Cached
+	rec.Coalesced = t.info.Coalesced
+	rec.QueueDepth = t.depth
+	rec.QueueSeconds = t.queueWait
+	rec.RunSeconds = t.runSeconds
 	if t.err != nil {
 		// Spec errors were caught above; what remains is a failed run
 		// (e.g. a deterministic guest trap) — the request is at fault,
 		// not the server.
 		s.runErrors.Inc()
 		httpError(w, http.StatusUnprocessableEntity, t.err)
+		finish(http.StatusUnprocessableEntity, t.err.Error())
 		return
 	}
-	writeRun(w, key, t.cached, t.data)
+	s.writeRun(w, key, root, t.info.Cached, t.data)
+	finish(http.StatusOK, "")
+}
+
+// retryAfter estimates how long a refused client should back off:
+// the pending backlog divided by the worker count, scaled by the
+// observed p90 execute latency — so a daemon running second-long
+// simulations tells clients to come back later than one serving
+// millisecond jobs. Before any execution has been observed it falls
+// back to assuming a second per backlog slot per worker.
+func (s *Server) retryAfter(pending int) int {
+	p90 := s.executeSeconds.Quantile(0.9)
+	if p90 == 0 {
+		return pending/s.workers + 1
+	}
+	secs := int(math.Ceil(float64(pending) / float64(s.workers) * p90))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -213,13 +333,38 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthzBody is the GET /healthz response: liveness plus the numbers a
+// load balancer or operator needs at a glance.
+type healthzBody struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Semantics     string  `json:"semantics"`
+	Queue         struct {
+		Pending int `json:"pending"`
+		Busy    int `json:"busy"`
+		Workers int `json:"workers"`
+		Limit   int `json:"limit"`
+	} `json:"queue"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	_, _ = w.Write([]byte("ok\n"))
+	var h healthzBody
+	h.Status = "ok"
+	h.UptimeSeconds = s.tracer.Now().Sub(s.start).Seconds()
+	h.Semantics = job.SemanticsVersion
+	h.Queue.Pending, h.Queue.Busy = s.sched.load()
+	h.Queue.Workers = s.workers
+	h.Queue.Limit = s.limit
+	writeJSON(w, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = s.metrics.WriteText(w)
+}
+
+func (s *Server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"runs": s.recent.snapshot()})
 }
 
 // clientID names the fairness queue a request belongs to: the
@@ -236,8 +381,13 @@ func clientID(r *http.Request) string {
 	return host
 }
 
-func writeRun(w http.ResponseWriter, key resultcache.Key, cached bool, data []byte) {
-	writeJSON(w, runResponse{Key: key.String(), Cached: cached, Result: data})
+func (s *Server) writeRun(w http.ResponseWriter, key resultcache.Key, root *obs.ActiveSpan, cached bool, data []byte) {
+	writeJSON(w, runResponse{
+		Key:    key.String(),
+		Trace:  root.TraceID().String(),
+		Cached: cached,
+		Result: data,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -20,6 +20,7 @@ import (
 // runBody is the decoded POST /v1/run response.
 type runBody struct {
 	Key    string          `json:"key"`
+	Trace  string          `json:"trace"`
 	Cached bool            `json:"cached"`
 	Result json.RawMessage `json:"result"`
 }
@@ -290,10 +291,30 @@ func TestMetricsAndHealthAndWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
+	var hz struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Semantics     string  `json:"semantics"`
+		Queue         struct {
+			Pending int `json:"pending"`
+			Busy    int `json:"busy"`
+			Workers int `json:"workers"`
+			Limit   int `json:"limit"`
+		} `json:"queue"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hz)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
-		t.Errorf("healthz: HTTP %d %q", resp.StatusCode, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Semantics != job.SemanticsVersion {
+		t.Errorf("healthz = %+v; want status ok, semantics %q", hz, job.SemanticsVersion)
+	}
+	if hz.UptimeSeconds < 0 {
+		t.Errorf("healthz uptime = %v; want >= 0", hz.UptimeSeconds)
+	}
+	if hz.Queue.Workers != serve.DefaultWorkers || hz.Queue.Limit != serve.DefaultQueueLimit {
+		t.Errorf("healthz queue = %+v; want workers %d, limit %d", hz.Queue, serve.DefaultWorkers, serve.DefaultQueueLimit)
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/workloads")
