@@ -1,0 +1,486 @@
+//go:build ignore
+
+// detlint is the host-side determinism linter:
+//
+//	go run ./ci/detlint.go [-selftest] [pkgdir ...]
+//
+// The repo's contract is byte-identical output — tables, metrics,
+// traces, goldens — for any parallelism, cache state or host. Two Go
+// constructs quietly break that: iterating a map while emitting, and
+// reading the wall clock on a deterministic path. detlint walks the
+// deterministic packages (internal/harness, internal/obs, internal/
+// serve, internal/prof, internal/vet, internal/job, internal/
+// resultcache, internal/timing by default) and reports:
+//
+//   - `for … range m` where m is syntactically map-typed (named map
+//     types, map-typed struct fields, package vars, parameters, and
+//     locals built with make/literals), unless the enclosing function
+//     later calls sort.*/slices.Sort* (the collect-then-sort idiom) or
+//     the range carries a `//detlint:sorted` directive explaining why
+//     order cannot leak.
+//   - any `time.Now` call not marked with a `//detlint:clock`
+//     directive; the injectable-clock seams (obs.Tracer's default
+//     clock, instrate's wall-clock measurement, which exists to
+//     measure wall time) carry the directive.
+//
+// Pure go/parser + go/ast, no type checker and no dependencies: the
+// map-type inference is syntactic and may miss aliases through
+// interfaces, but it cannot false-positive on a slice. Exits 1 on any
+// finding. -selftest parses embedded fixtures and verifies the linter
+// still catches each seeded violation (CI runs it before the real
+// scan, so a silently broken linter fails loudly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var defaultPkgs = []string{
+	"internal/harness",
+	"internal/obs",
+	"internal/serve",
+	"internal/prof",
+	"internal/vet",
+	"internal/job",
+	"internal/resultcache",
+	"internal/timing",
+}
+
+func main() {
+	selftest := flag.Bool("selftest", false, "verify the linter catches its seeded fixtures, then exit")
+	flag.Parse()
+	if *selftest {
+		runSelftest()
+		return
+	}
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPkgs
+	}
+	var files []string
+	for _, dir := range pkgs {
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(files)
+	findings := lintFiles(files)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintFiles parses every file and lints them with a shared map-type
+// universe, so a named map type declared in one file is recognized
+// when ranged over in another.
+func lintFiles(paths []string) []string {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	var names []string
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return []string{fmt.Sprintf("%v", err)}
+		}
+		parsed = append(parsed, f)
+		names = append(names, p)
+	}
+	u := newUniverse(parsed)
+	var findings []string
+	for i, f := range parsed {
+		findings = append(findings, lintFile(fset, f, names[i], u)...)
+	}
+	sort.Strings(findings)
+	return findings
+}
+
+// universe holds the cross-file syntactic type facts: names (of types,
+// fields, and package vars) known to be maps.
+type universe struct {
+	mapTypes  map[string]bool // named types declared as map[...]...
+	mapIdents map[string]bool // field and package-var names of map type
+}
+
+func newUniverse(files []*ast.File) *universe {
+	u := &universe{mapTypes: map[string]bool{}, mapIdents: map[string]bool{}}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.TypeSpec:
+				if u.isMapType(d.Type) {
+					u.mapTypes[d.Name.Name] = true
+				}
+			case *ast.Field:
+				if u.isMapType(d.Type) {
+					for _, name := range d.Names {
+						u.mapIdents[name.Name] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if d.Type != nil && u.isMapType(d.Type) {
+					for _, name := range d.Names {
+						u.mapIdents[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return u
+}
+
+// isMapType reports whether a type expression is syntactically a map
+// (directly, behind pointers/parens, or via a previously-seen named
+// map type).
+func (u *universe) isMapType(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ParenExpr:
+		return u.isMapType(tt.X)
+	case *ast.StarExpr:
+		return u.isMapType(tt.X)
+	case *ast.Ident:
+		return u.mapTypes[tt.Name]
+	}
+	return false
+}
+
+// lintFile walks one file's functions. Locals assigned from
+// make(map...), map literals, or declared with map types are tracked
+// per function body, shadowing the universe facts.
+func lintFile(fset *token.FileSet, f *ast.File, path string, u *universe) []string {
+	var findings []string
+
+	// Directive lines: //detlint:sorted and //detlint:clock apply to
+	// the line they sit on and the line below (comment-above style).
+	sorted := map[int]bool{}
+	clock := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			line := fset.Position(c.Pos()).Line
+			if strings.Contains(c.Text, "detlint:sorted") {
+				sorted[line], sorted[line+1] = true, true
+			}
+			if strings.Contains(c.Text, "detlint:clock") {
+				clock[line], clock[line+1] = true, true
+			}
+		}
+	}
+
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		// Two per-function fact sets: names proven map-typed, and
+		// names proven NOT map-typed. The latter shadows the
+		// cross-file field/var facts — a slice parameter named like a
+		// map field elsewhere must not be flagged.
+		locals := map[string]bool{}
+		notMap := map[string]bool{}
+		bind := func(name string, isMap bool) {
+			if isMap {
+				locals[name] = true
+				delete(notMap, name)
+			} else if !locals[name] {
+				notMap[name] = true
+			}
+		}
+		fields := []*ast.FieldList{fn.Recv, fn.Type.Params, fn.Type.Results}
+		for _, fl := range fields {
+			if fl == nil {
+				continue
+			}
+			for _, fd := range fl.List {
+				for _, name := range fd.Names {
+					bind(name.Name, u.isMapType(fd.Type))
+				}
+			}
+		}
+		// Locals: make(map…), map literals, var decls. Not
+		// flow-sensitive — a name that is ever map-typed in the body
+		// stays map-typed (the conservative direction).
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if s.Tok != token.DEFINE && s.Tok != token.ASSIGN {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if len(s.Rhs) == len(s.Lhs) {
+						bind(id.Name, isMapExpr(u, s.Rhs[i]))
+					} else if s.Tok == token.DEFINE {
+						bind(id.Name, false) // multi-value call: unknowable
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := s.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil {
+							for _, name := range vs.Names {
+								bind(name.Name, u.isMapType(vs.Type))
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		// sortCalls: positions of sort.*/slices.Sort* calls in this
+		// function, for the collect-then-sort exemption.
+		var sortPos []token.Pos
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok {
+					if pkg.Name == "sort" || (pkg.Name == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort")) {
+						sortPos = append(sortPos, call.Pos())
+					}
+				}
+			}
+			return true
+		})
+		sortedAfter := func(p token.Pos) bool {
+			for _, sp := range sortPos {
+				if sp > p {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.RangeStmt:
+				if !rangeOverMap(u, locals, notMap, s.X) {
+					return true
+				}
+				pos := fset.Position(s.Pos())
+				if sorted[pos.Line] || sortedAfter(s.Pos()) {
+					return true
+				}
+				findings = append(findings, fmt.Sprintf(
+					"%s:%d: range over map %q without a later sort (add sort, or //detlint:sorted with a reason)",
+					path, pos.Line, exprString(s.X)))
+			case *ast.SelectorExpr:
+				if id, ok := s.X.(*ast.Ident); ok && id.Name == "time" && s.Sel.Name == "Now" {
+					pos := fset.Position(s.Pos())
+					if !clock[pos.Line] {
+						findings = append(findings, fmt.Sprintf(
+							"%s:%d: time.Now on a deterministic path (inject a clock, or //detlint:clock with a reason)",
+							path, pos.Line))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// isMapExpr reports whether an expression syntactically produces a map:
+// make(map…), a map composite literal, or a call to make with a named
+// map type.
+func isMapExpr(u *universe, e ast.Expr) bool {
+	switch ee := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := ee.Fun.(*ast.Ident); ok && id.Name == "make" && len(ee.Args) > 0 {
+			return u.isMapType(ee.Args[0])
+		}
+	case *ast.CompositeLit:
+		if ee.Type != nil {
+			return u.isMapType(ee.Type)
+		}
+	case *ast.UnaryExpr:
+		return isMapExpr(u, ee.X)
+	}
+	return false
+}
+
+// rangeOverMap decides whether the ranged expression is map-typed: a
+// local/param known to be a map, a selector whose terminal field name
+// is a known map field, or an inline map-building expression. A name
+// this function binds to a non-map type is never flagged, whatever a
+// same-named field elsewhere looks like.
+func rangeOverMap(u *universe, locals, notMap map[string]bool, x ast.Expr) bool {
+	switch xx := x.(type) {
+	case *ast.Ident:
+		if notMap[xx.Name] {
+			return false
+		}
+		return locals[xx.Name] || u.mapIdents[xx.Name]
+	case *ast.SelectorExpr:
+		return u.mapIdents[xx.Sel.Name]
+	case *ast.ParenExpr:
+		return rangeOverMap(u, locals, notMap, xx.X)
+	}
+	return isMapExpr(u, x)
+}
+
+// exprString renders the ranged expression for the finding message.
+func exprString(x ast.Expr) string {
+	switch xx := x.(type) {
+	case *ast.Ident:
+		return xx.Name
+	case *ast.SelectorExpr:
+		return exprString(xx.X) + "." + xx.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(xx.X)
+	}
+	return "?"
+}
+
+// ---- selftest ----------------------------------------------------------
+
+// Each fixture seeds exactly one violation (or none); the selftest
+// fails if the linter's verdict ever drifts.
+var selftests = []struct {
+	name string
+	src  string
+	want int // findings expected
+}{
+	{"range-map-local", `package p
+func f() []string {
+	m := map[string]int{}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`, 1},
+	{"range-map-sorted-after", `package p
+import "sort"
+func f() []string {
+	m := map[string]int{}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}`, 0},
+	{"range-map-directive", `package p
+func f(m map[string]int) int {
+	n := 0
+	//detlint:sorted — order-free aggregation
+	for _, v := range m {
+		n += v
+	}
+	return n
+}`, 0},
+	{"range-map-param", `package p
+import "fmt"
+func f(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}`, 1},
+	{"range-map-field", `package p
+import "fmt"
+type S struct{ hists map[string]int }
+func (s *S) f() {
+	for k := range s.hists {
+		fmt.Println(k)
+	}
+}`, 1},
+	{"range-slice-clean", `package p
+import "fmt"
+func f(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}`, 0},
+	{"time-now-bare", `package p
+import "time"
+func f() int64 { return time.Now().UnixNano() }`, 1},
+	{"time-now-directive", `package p
+import "time"
+func f() int64 {
+	return time.Now().UnixNano() //detlint:clock — seeding only
+}`, 0},
+	{"named-map-type", `package p
+import "fmt"
+type registry map[string]int
+func f(r registry) {
+	for k := range r {
+		fmt.Println(k)
+	}
+}`, 1},
+	// A slice parameter sharing its name with a map field elsewhere
+	// must not be flagged: local bindings shadow cross-file facts.
+	{"shadowed-name-clean", `package p
+import "fmt"
+type S struct{ counters map[string]int }
+func f(counters []string) {
+	for _, c := range counters {
+		fmt.Println(c)
+	}
+}`, 0},
+	{"array-receiver-clean", `package p
+type A [4]uint64
+type B struct{ m map[string]int }
+func (m *A) total() uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}`, 0},
+}
+
+func runSelftest() {
+	failed := false
+	for _, tc := range selftests {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, tc.name+".go", tc.src, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selftest %s: parse: %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		u := newUniverse([]*ast.File{f})
+		got := lintFile(fset, f, tc.name+".go", u)
+		if len(got) != tc.want {
+			fmt.Fprintf(os.Stderr, "selftest %s: %d finding(s), want %d:\n", tc.name, len(got), tc.want)
+			for _, g := range got {
+				fmt.Fprintln(os.Stderr, "  ", g)
+			}
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("detlint selftest: ok")
+}

@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	cyclops-asm [-o prog.cyc] [-sym prog.sym] [-listing] [-vet] prog.s
+//	cyclops-asm [-o prog.cyc] [-sym prog.sym] [-listing] [-vet] [-vet-passes=id,id] prog.s
 //	cyclops-asm -d prog.cyc
 //
 // With -vet the assembled program is run through the static analyzer
 // (internal/vet) before the image is written: warnings go to stderr and
 // do not block, error-severity diagnostics abort the build with no
-// output file.
+// output file. -vet-passes restricts the gate to a comma-separated
+// subset of pass ids (and implies -vet).
 package main
 
 import (
@@ -30,19 +31,48 @@ func main() {
 	disasm := flag.Bool("d", false, "disassemble an image file instead of assembling")
 	listing := flag.Bool("listing", false, "print an address/bytes/source listing to stdout")
 	doVet := flag.Bool("vet", false, "run the static analyzer; error diagnostics block the output")
+	vetPasses := flag.String("vet-passes", "", "comma-separated vet pass ids to run (implies -vet; default: all)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-asm [-o out.cyc] [-sym out.sym] [-listing] [-vet] prog.s | cyclops-asm -d prog.cyc")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-asm [-o out.cyc] [-sym out.sym] [-listing] [-vet] [-vet-passes=id,id] prog.s | cyclops-asm -d prog.cyc")
+		os.Exit(2)
+	}
+	only, err := parseVetPasses(*vetPasses)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-asm:", err)
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
-	if err := run(in, *out, *symOut, *disasm, *listing, *doVet); err != nil {
+	if err := run(in, *out, *symOut, *disasm, *listing, *doVet || only != nil, only); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-asm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, symOut string, disasm, listing, doVet bool) error {
+// parseVetPasses validates a comma-separated pass list against the vet
+// registry; empty input means "all passes" (nil).
+func parseVetPasses(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var only []string
+	for _, id := range strings.Split(s, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !vet.KnownPass(id) {
+			return nil, fmt.Errorf("unknown vet pass %q", id)
+		}
+		only = append(only, id)
+	}
+	if only == nil {
+		return nil, fmt.Errorf("empty -vet-passes list")
+	}
+	return only, nil
+}
+
+func run(in, out, symOut string, disasm, listing, doVet bool, vetOnly []string) error {
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
@@ -60,7 +90,7 @@ func run(in, out, symOut string, disasm, listing, doVet bool) error {
 		return err
 	}
 	if doVet {
-		diags := vet.Check(prog)
+		diags := vet.CheckPasses(prog, vetOnly)
 		fmt.Fprint(os.Stderr, vet.Render(diags))
 		if vet.HasErrors(diags) {
 			return fmt.Errorf("vet found errors; no output written")

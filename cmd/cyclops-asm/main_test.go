@@ -15,7 +15,7 @@ func TestAssembleAndDisassemble(t *testing.T) {
 	if err := os.WriteFile(src, []byte("_start:\tadd r3, r4, r5\n\thalt\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(src, out, sym, false, true, false); err != nil {
+	if err := run(src, out, sym, false, true, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	img, err := os.ReadFile(out)
@@ -27,7 +27,7 @@ func TestAssembleAndDisassemble(t *testing.T) {
 		t.Fatalf("symbols: %v %q", err, syms)
 	}
 	// Disassembly path parses the image.
-	if err := run(out, "", "", true, false, false); err != nil {
+	if err := run(out, "", "", true, false, false, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -41,14 +41,14 @@ func TestVetGatesOutput(t *testing.T) {
 	badOut := filepath.Join(dir, "bad.cyc")
 	// Reads r9 before any write: a vet error, though it assembles fine.
 	os.WriteFile(bad, []byte("_start:\tmov r8, r9\n\thalt\n"), 0o644)
-	if err := run(bad, badOut, "", false, false, true); err == nil {
+	if err := run(bad, badOut, "", false, false, true, nil); err == nil {
 		t.Error("vet errors did not fail the build")
 	}
 	if _, err := os.Stat(badOut); !os.IsNotExist(err) {
 		t.Errorf("output file written despite vet errors (stat err = %v)", err)
 	}
 	// Without -vet the same program builds.
-	if err := run(bad, badOut, "", false, false, false); err != nil {
+	if err := run(bad, badOut, "", false, false, false, nil); err != nil {
 		t.Errorf("build without -vet failed: %v", err)
 	}
 
@@ -56,7 +56,7 @@ func TestVetGatesOutput(t *testing.T) {
 	warnOut := filepath.Join(dir, "warn.cyc")
 	// A release-only barrier arrival: vet warns but must not block.
 	os.WriteFile(warn, []byte("_start:\tli r8, 1\n\tmtspr r8, 4\n\thalt\n"), 0o644)
-	if err := run(warn, warnOut, "", false, false, true); err != nil {
+	if err := run(warn, warnOut, "", false, false, true, nil); err != nil {
 		t.Errorf("vet warnings blocked the build: %v", err)
 	}
 	if _, err := os.Stat(warnOut); err != nil {
@@ -68,14 +68,39 @@ func TestErrorsSurface(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "bad.s")
 	os.WriteFile(src, []byte("frobnicate r1\n"), 0o644)
-	if err := run(src, filepath.Join(dir, "o.cyc"), "", false, false, false); err == nil {
+	if err := run(src, filepath.Join(dir, "o.cyc"), "", false, false, false, nil); err == nil {
 		t.Error("bad source assembled")
 	}
-	if err := run(filepath.Join(dir, "missing.s"), "", "", false, false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.s"), "", "", false, false, false, nil); err == nil {
 		t.Error("missing input accepted")
 	}
 	os.WriteFile(src, []byte("not an image"), 0o644)
-	if err := run(src, "", "", true, false, false); err == nil {
+	if err := run(src, "", "", true, false, false, nil); err == nil {
 		t.Error("garbage disassembled")
+	}
+}
+
+// -vet-passes restricts the gate: an uninit bug passes a conc-only
+// gate but fails the full one; unknown ids are rejected up front.
+func TestVetPassSubsetGate(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	out := filepath.Join(dir, "bad.cyc")
+	os.WriteFile(bad, []byte("_start:\tmov r8, r9\n\thalt\n"), 0o644)
+	if err := run(bad, out, "", false, false, true, []string{"race", "barrier", "deadlock"}); err != nil {
+		t.Errorf("conc-only gate blocked an uninit bug: %v", err)
+	}
+	if err := run(bad, out, "", false, false, true, []string{"uninit"}); err == nil {
+		t.Error("uninit-only gate passed an uninit bug")
+	}
+
+	if only, err := parseVetPasses("race,deadlock"); err != nil || len(only) != 2 {
+		t.Errorf("parseVetPasses = %v, %v", only, err)
+	}
+	if _, err := parseVetPasses("nosuch"); err == nil {
+		t.Error("unknown pass accepted")
+	}
+	if only, err := parseVetPasses(""); only != nil || err != nil {
+		t.Errorf("parseVetPasses(\"\") = %v, %v", only, err)
 	}
 }

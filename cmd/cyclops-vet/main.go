@@ -2,15 +2,20 @@
 //
 // Usage:
 //
-//	cyclops-vet [-json] [-strict] prog.s [more.s ...]
+//	cyclops-vet [-json] [-strict] [-passes=id,id] prog.s [more.s ...]
+//	cyclops-vet -list
 //
 // Each source is assembled and run through the internal/vet pipeline
-// (CFG construction plus the uninit/flow/fppair/spr/smc/branch passes).
-// Diagnostics print one per line as "file:line: severity: [pass] msg
-// (pc 0x…)"; -json emits a JSON array instead. The exit status is 1
-// when any program fails to assemble or produces an error-severity
-// diagnostic (-strict promotes warnings to failures too), so the tool
-// slots directly into CI lanes and build scripts.
+// (CFG construction plus the uninit/flow/fppair/spr/smc/branch passes
+// and the race/barrier/deadlock concurrency passes). Diagnostics print
+// one per line as "file:line: severity: [pass] msg (pc 0x…)"; -json
+// emits a JSON array instead. -passes restricts the run to a
+// comma-separated subset of pass ids, so CI lanes can gate subsets
+// independently; -list prints the registered passes with their
+// descriptions and exits. The exit status is 1 when any program fails
+// to assemble or produces an error-severity diagnostic (-strict
+// promotes warnings to failures too), so the tool slots directly into
+// CI lanes and build scripts.
 //
 // Only assembly sources are accepted: .cyc images have no line table or
 // label list, which the analyzer needs for code/data separation.
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"cyclops/internal/asm"
 	"cyclops/internal/vet"
@@ -30,12 +36,23 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	strict := flag.Bool("strict", false, "treat warnings as failures")
+	passes := flag.String("passes", "", "comma-separated pass ids to run (default: all)")
+	list := flag.Bool("list", false, "list registered passes and exit")
 	flag.Parse()
+	if *list {
+		listPasses(os.Stdout)
+		return
+	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cyclops-vet [-json] [-strict] prog.s [more.s ...]")
+		fmt.Fprintln(os.Stderr, "usage: cyclops-vet [-json] [-strict] [-passes=id,id] prog.s [more.s ...]")
 		os.Exit(2)
 	}
-	failed, err := run(flag.Args(), *jsonOut, *strict, os.Stdout)
+	only, err := parsePasses(*passes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-vet:", err)
+		os.Exit(2)
+	}
+	failed, err := run(flag.Args(), *jsonOut, *strict, only, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cyclops-vet:", err)
 		os.Exit(1)
@@ -45,11 +62,41 @@ func main() {
 	}
 }
 
+// listPasses prints the pass registry in pipeline order.
+func listPasses(w io.Writer) {
+	for _, p := range vet.Passes {
+		fmt.Fprintf(w, "%-8s  %s\n", p.ID, p.Doc)
+	}
+}
+
+// parsePasses validates a comma-separated pass list against the
+// registry; empty input selects every pass (nil).
+func parsePasses(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var only []string
+	for _, id := range strings.Split(s, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !vet.KnownPass(id) {
+			return nil, fmt.Errorf("unknown pass %q (run cyclops-vet -list)", id)
+		}
+		only = append(only, id)
+	}
+	if only == nil {
+		return nil, fmt.Errorf("empty -passes list")
+	}
+	return only, nil
+}
+
 // run vets every path and writes diagnostics to w; it reports whether
 // any program failed the severity gate. Assembly errors are printed like
 // diagnostics (they already carry file:line) and count as failures, but
 // do not stop the remaining files from being checked.
-func run(paths []string, jsonOut, strict bool, w io.Writer) (failed bool, err error) {
+func run(paths []string, jsonOut, strict bool, only []string, w io.Writer) (failed bool, err error) {
 	var all []vet.Diagnostic
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
@@ -62,7 +109,7 @@ func run(paths []string, jsonOut, strict bool, w io.Writer) (failed bool, err er
 			failed = true
 			continue
 		}
-		diags := vet.Check(prog)
+		diags := vet.CheckPasses(prog, only)
 		all = append(all, diags...)
 		if !jsonOut {
 			fmt.Fprint(w, vet.Render(diags))

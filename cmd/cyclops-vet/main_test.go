@@ -31,7 +31,7 @@ func TestRunSeverityGate(t *testing.T) {
 	warn := write(t, dir, "warn.s", warnSrc)
 
 	var out bytes.Buffer
-	failed, err := run([]string{clean}, false, false, &out)
+	failed, err := run([]string{clean}, false, false, nil, &out)
 	if err != nil || failed {
 		t.Errorf("clean program: failed=%v err=%v\n%s", failed, err, out.String())
 	}
@@ -40,7 +40,7 @@ func TestRunSeverityGate(t *testing.T) {
 	}
 
 	out.Reset()
-	failed, err = run([]string{buggy, clean}, false, false, &out)
+	failed, err = run([]string{buggy, clean}, false, false, nil, &out)
 	if err != nil || !failed {
 		t.Errorf("buggy program: failed=%v err=%v", failed, err)
 	}
@@ -49,10 +49,10 @@ func TestRunSeverityGate(t *testing.T) {
 	}
 
 	out.Reset()
-	if failed, _ = run([]string{warn}, false, false, &out); failed {
+	if failed, _ = run([]string{warn}, false, false, nil, &out); failed {
 		t.Errorf("warnings failed without -strict:\n%s", out.String())
 	}
-	if failed, _ = run([]string{warn}, false, true, &out); !failed {
+	if failed, _ = run([]string{warn}, false, true, nil, &out); !failed {
 		t.Error("warnings passed under -strict")
 	}
 }
@@ -62,7 +62,7 @@ func TestRunJSON(t *testing.T) {
 	buggy := write(t, dir, "buggy.s", buggySrc)
 
 	var out bytes.Buffer
-	failed, err := run([]string{buggy}, true, false, &out)
+	failed, err := run([]string{buggy}, true, false, nil, &out)
 	if err != nil || !failed {
 		t.Fatalf("failed=%v err=%v", failed, err)
 	}
@@ -77,7 +77,7 @@ func TestRunJSON(t *testing.T) {
 	// Clean input must still emit a valid (empty) array.
 	out.Reset()
 	clean := write(t, dir, "clean.s", cleanSrc)
-	if _, err := run([]string{clean}, true, false, &out); err != nil {
+	if _, err := run([]string{clean}, true, false, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "[]" {
@@ -88,17 +88,68 @@ func TestRunJSON(t *testing.T) {
 func TestRunBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if _, err := run([]string{filepath.Join(dir, "missing.s")}, false, false, &out); err == nil {
+	if _, err := run([]string{filepath.Join(dir, "missing.s")}, false, false, nil, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Assembly errors are reported with file:line and count as failure.
 	bad := write(t, dir, "bad.s", "frobnicate r1\n")
 	out.Reset()
-	failed, err := run([]string{bad}, false, false, &out)
+	failed, err := run([]string{bad}, false, false, nil, &out)
 	if err != nil || !failed {
 		t.Errorf("failed=%v err=%v", failed, err)
 	}
 	if !strings.Contains(out.String(), "bad.s:1:") {
 		t.Errorf("assembler error not located: %q", out.String())
+	}
+}
+
+func TestParsePasses(t *testing.T) {
+	if only, err := parsePasses(""); only != nil || err != nil {
+		t.Errorf("parsePasses(\"\") = %v, %v; want nil, nil", only, err)
+	}
+	only, err := parsePasses("race, barrier")
+	if err != nil || len(only) != 2 || only[0] != "race" || only[1] != "barrier" {
+		t.Errorf("parsePasses = %v, %v", only, err)
+	}
+	if _, err := parsePasses("nosuch"); err == nil {
+		t.Error("unknown pass accepted")
+	}
+	if _, err := parsePasses(","); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestListPasses(t *testing.T) {
+	var out bytes.Buffer
+	listPasses(&out)
+	for _, p := range vet.Passes {
+		if !strings.Contains(out.String(), p.ID) || !strings.Contains(out.String(), p.Doc) {
+			t.Errorf("listing missing pass %q:\n%s", p.ID, out.String())
+		}
+	}
+}
+
+// -passes must gate the severity decision on the subset actually run:
+// a program whose only error comes from uninit passes a race-only run.
+func TestRunPassSubset(t *testing.T) {
+	dir := t.TempDir()
+	buggy := write(t, dir, "buggy.s", buggySrc)
+
+	var out bytes.Buffer
+	failed, err := run([]string{buggy}, false, false, []string{"race", "barrier", "deadlock"}, &out)
+	if err != nil || failed {
+		t.Errorf("conc-only run of an uninit bug: failed=%v err=%v\n%s", failed, err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("conc-only run produced output: %q", out.String())
+	}
+
+	out.Reset()
+	failed, err = run([]string{buggy}, false, false, []string{"uninit"}, &out)
+	if err != nil || !failed {
+		t.Errorf("uninit-only run: failed=%v err=%v", failed, err)
+	}
+	if !strings.Contains(out.String(), "[uninit]") {
+		t.Errorf("uninit finding missing: %q", out.String())
 	}
 }

@@ -1,0 +1,26 @@
+; Seeded bug for the "barrier" pass: the boot thread runs two complete
+; arrive+spin barrier episodes but the worker it spawned runs only one,
+; so every execution leaves the boot thread's second barrier waiting
+; for an arrival that never comes (phase mismatch, error).
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	li   r8, 1
+	mtspr r8, 4
+s1:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s1
+	mtspr r8, 4
+s2:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s2
+	li   a0, 0
+	syscall
+worker:	li   r18, 1
+	mtspr r18, 4
+w1:	mfspr r19, 4
+	and  r19, r19, r18
+	bne  r19, r0, w1
+	li   a0, 0
+	syscall

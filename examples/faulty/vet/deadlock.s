@@ -1,0 +1,23 @@
+; Seeded bugs for the "deadlock" pass: the worker spins on a flag that
+; no thread ever stores to and no off-chip DMA fills, so the wait can
+; never be released (error) — and because the worker never reaches the
+; barrier the boot thread arrives at, that barrier only fires if the
+; worker exits some other way (warning).
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	li   r8, 1
+	mtspr r8, 4
+s1:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s1
+	li   a0, 0
+	syscall
+worker:	la   r20, flag
+wspin:	lw   r21, 0(r20)
+	beq  r21, r0, wspin
+	li   a0, 0
+	syscall
+	.align 8
+flag:	.word 0

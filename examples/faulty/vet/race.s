@@ -1,0 +1,22 @@
+; Seeded bug for the "race" pass: the boot thread spawns a worker and
+; then both store to the same word with plain sw — no barrier separates
+; them and neither store is an atomic, so the final value of flag
+; depends on scheduling (error). Replacing both stores with amoadd
+; makes this clean: the machine's in-memory atomics serialize at the
+; memory bank.
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	la   r8, flag
+	li   r9, 1
+	sw   r9, 0(r8)
+	li   a0, 0
+	syscall
+worker:	la   r10, flag
+	li   r11, 2
+	sw   r11, 0(r10)
+	li   a0, 0
+	syscall
+	.align 8
+flag:	.word 0

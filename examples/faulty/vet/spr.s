@@ -1,8 +1,7 @@
-; Seeded bugs for the "spr" pass: SPR 0 (tid) is read-only, so the first
-; mtspr traps at run time (error); the barrier arrival that follows is
-; never paired with a spin on mfspr 4, so the thread signals the wired-OR
-; barrier but cannot know when the others arrive (warning).
+; Seeded bugs for the "spr" pass: SPR 0 (tid) is read-only, so the
+; mtspr traps at run time (error); SPR 7 does not exist, so the mfspr
+; that follows also traps (error).
 _start:	li    r8, 1
 	mtspr r8, 0
-	mtspr r8, 4
+	mfspr r9, 7
 	halt

@@ -23,6 +23,7 @@ func Table1() (*Table, error) {
 			set[arch.CacheFor(ea, 5, nCaches, lineShift)] = true
 		}
 		lo, hi := 99, -1
+		//detlint:sorted — min/max/len aggregation; order cannot leak
 		for c := range set {
 			if c < lo {
 				lo = c

@@ -179,8 +179,11 @@ type Info struct {
 	Class  Class
 	Pipe   FPUPipe
 	// Mem marks loads, stores and atomics; Store marks memory writes;
-	// Pair marks 64-bit (register-pair) memory operands.
-	Mem, Store, Pair bool
+	// Pair marks 64-bit (register-pair) memory operands; Atomic marks
+	// the in-memory read-modify-write operations (the multithreading
+	// extensions), which both read and write their location in one
+	// indivisible step and so never race with each other.
+	Mem, Store, Pair, Atomic bool
 }
 
 var infos = [NumOps]Info{
@@ -250,9 +253,9 @@ var infos = [NumOps]Info{
 	OpFCLT:   {Name: "fclt", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
 	OpFCLE:   {Name: "fcle", Format: FmtR, Class: ClassFP, Pipe: PipeAdd},
 
-	OpAMOADD:  {Name: "amoadd", Format: FmtR, Class: ClassMem, Mem: true, Store: true},
-	OpAMOSWAP: {Name: "amoswap", Format: FmtR, Class: ClassMem, Mem: true, Store: true},
-	OpAMOCAS:  {Name: "amocas", Format: FmtR, Class: ClassMem, Mem: true, Store: true},
+	OpAMOADD:  {Name: "amoadd", Format: FmtR, Class: ClassMem, Mem: true, Store: true, Atomic: true},
+	OpAMOSWAP: {Name: "amoswap", Format: FmtR, Class: ClassMem, Mem: true, Store: true, Atomic: true},
+	OpAMOCAS:  {Name: "amocas", Format: FmtR, Class: ClassMem, Mem: true, Store: true, Atomic: true},
 
 	OpMFSPR: {Name: "mfspr", Format: FmtI, Class: ClassOther},
 	OpMTSPR: {Name: "mtspr", Format: FmtI, Class: ClassOther},
@@ -299,6 +302,21 @@ func EndsBlock(in Inst) bool {
 		return true
 	}
 	return false
+}
+
+// BarrierArrive reports the wired-OR barrier arrival: an mtspr whose
+// target is the barrier SPR (Section 2.3). The writing thread deposits
+// its contribution; the barrier completes only once every participant
+// has both arrived and observed the all-arrived state via BarrierWait.
+func BarrierArrive(in Inst) bool {
+	return in.Op == OpMTSPR && in.Imm == SPRBarrier
+}
+
+// BarrierWait reports the barrier spin read: an mfspr from the barrier
+// SPR, which a thread polls until the wired-OR over all contributions
+// shows the previous phase's bit cleared.
+func BarrierWait(in Inst) bool {
+	return in.Op == OpMFSPR && in.Imm == SPRBarrier
 }
 
 // ByName resolves a mnemonic to its Op; ok is false for unknown mnemonics.

@@ -229,3 +229,37 @@ func TestFormatString(t *testing.T) {
 		}
 	}
 }
+
+func TestAtomicClassification(t *testing.T) {
+	atomics := map[Op]bool{OpAMOADD: true, OpAMOSWAP: true, OpAMOCAS: true}
+	for op := Op(1); op < NumOps; op++ {
+		info := Lookup(op)
+		if info.Atomic != atomics[op] {
+			t.Errorf("%s: Atomic = %v, want %v", info.Name, info.Atomic, atomics[op])
+		}
+		if info.Atomic && (!info.Mem || !info.Store) {
+			t.Errorf("%s: atomics must be Mem+Store", info.Name)
+		}
+	}
+}
+
+func TestBarrierClassification(t *testing.T) {
+	cases := []struct {
+		in            Inst
+		arrive, wait_ bool
+	}{
+		{Inst{Op: OpMTSPR, A: 8, Imm: SPRBarrier}, true, false},
+		{Inst{Op: OpMFSPR, A: 9, Imm: SPRBarrier}, false, true},
+		{Inst{Op: OpMTSPR, A: 8, Imm: SPRTid}, false, false},
+		{Inst{Op: OpMFSPR, A: 9, Imm: SPRCycle}, false, false},
+		{Inst{Op: OpSYNC}, false, false},
+	}
+	for _, c := range cases {
+		if got := BarrierArrive(c.in); got != c.arrive {
+			t.Errorf("BarrierArrive(%v) = %v, want %v", c.in, got, c.arrive)
+		}
+		if got := BarrierWait(c.in); got != c.wait_ {
+			t.Errorf("BarrierWait(%v) = %v, want %v", c.in, got, c.wait_)
+		}
+	}
+}

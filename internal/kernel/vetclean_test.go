@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"strconv"
 	"testing"
 
 	"cyclops/internal/asm"
@@ -18,8 +19,23 @@ func TestKernelSourcesVetClean(t *testing.T) {
 	}{
 		{"asmlib", asmlibSrc},
 		{"gemm", gemmSrc},
-		{"hwbarrier", hwBarrierSrc(4, 3)},
-		{"swbarrier", swBarrierSrc(4, 3)},
+	}
+	// The barrier microbenchmarks across worker/round shapes: the
+	// concurrency passes must accept every generated variant (the
+	// spawn loop, the wired-OR episodes, the sw-barrier's amoadd
+	// counter with its tid-guarded reset).
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, rounds := range []int{1, 3, 16} {
+			cases = append(cases,
+				struct{ name, src string }{
+					name: "hwbarrier-w" + strconv.Itoa(workers) + "-r" + strconv.Itoa(rounds),
+					src:  hwBarrierSrc(workers, rounds),
+				},
+				struct{ name, src string }{
+					name: "swbarrier-w" + strconv.Itoa(workers) + "-r" + strconv.Itoa(rounds),
+					src:  swBarrierSrc(workers, rounds),
+				})
+		}
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

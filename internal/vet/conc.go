@@ -1,0 +1,678 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"cyclops/internal/isa"
+)
+
+// The inter-thread model: the CFG partitioned into thread roots by the
+// spawn graph, a barrier-phase lattice giving a static happens-before
+// relation between roots, and a const-prop summary of the shared
+// addresses each root touches per phase. The race/barrier/deadlock
+// passes are queries over this model.
+//
+// Everything here is a MAY analysis. Spawn counts are estimated (a
+// spawn site inside a CFG cycle means "many instances"), phase
+// intervals widen to unbounded across loops that contain a barrier,
+// and only const-provable addresses participate in conflict checks —
+// so silence is not a proof of absence, and severities are chosen so
+// that only findings true on every execution the model can see are
+// errors.
+
+// phaseInf is the "unbounded" upper phase bound: a barrier inside a
+// loop whose trip count the analysis cannot see.
+const phaseInf = int32(1 << 30)
+
+// phaseCap is the widening threshold: a phase count that climbs past it
+// during the fixpoint is declared unbounded.
+const phaseCap = int32(64)
+
+// access is one memory operation with its const-prop-resolved address.
+type access struct {
+	inst  int    // instruction index
+	addr  uint32 // resolved byte address (valid when known)
+	size  uint32 // bytes touched
+	known bool   // address proven by constant propagation
+	write bool
+	atom  bool
+	load  bool // reads memory (loads and atomics)
+}
+
+// spawnSite is one syscall statically recognized as SysSpawn.
+type spawnSite struct {
+	inst      int
+	target    uint32 // entry PC of the spawned thread
+	hasTarget bool   // false when a1 is not a materialized code label
+	looped    bool   // the site sits in a CFG cycle (runs many times)
+}
+
+// troot is one thread root: the boot entry or a spawn target, with the
+// per-root projections of the shared CFG.
+type troot struct {
+	pc      uint32
+	blk     int
+	spawned bool
+	spawnPC uint32 // lowest spawn-site PC naming this root (spawned only)
+	sites   int    // static spawn sites naming it
+	many    bool   // more than one instance may run this root's code
+	reach   []bool // per-block reachability from this root
+
+	// Per-instruction barrier-phase intervals: the number of barrier
+	// arrivals any path from this root's entry has executed before the
+	// instruction. phLo == -1 marks instructions this root never
+	// reaches.
+	phLo, phHi []int32
+
+	// Arrival-count interval over every entry→exit path (exit = halt,
+	// SysExit, or a block with no static successor).
+	exitLo, exitHi int32
+	hasExit        bool
+
+	arrives []int // reachable barrier-arrival instruction indexes
+	waits   []int // reachable barrier-wait instruction indexes
+	acc     []access
+}
+
+// name renders the root for diagnostics, naming the spawn site so a
+// finding can be traced to the thread that executes it.
+func (r *troot) name(g *graph) string {
+	label, off, ok := g.p.NearestLabel(r.pc)
+	who := fmt.Sprintf("%#x", r.pc)
+	if ok && off == 0 {
+		who = label
+	} else if ok {
+		who = fmt.Sprintf("%s+%#x", label, off)
+	}
+	if !r.spawned {
+		return fmt.Sprintf("the boot thread (%s)", who)
+	}
+	file := g.p.SourceFile()
+	if file == "" {
+		file = "?"
+	}
+	line, _ := g.p.Locate(r.spawnPC)
+	n := ""
+	if r.many {
+		n = "s"
+	}
+	return fmt.Sprintf("thread%s %s (spawned at %s:%d)", n, who, file, line)
+}
+
+// concModel ties the roots to the ordering facts shared between them.
+type concModel struct {
+	g     *graph
+	roots []*troot // roots[0] is always the boot thread
+
+	// unresolved counts spawn syscalls whose target register was not a
+	// materialized code label; any such site makes instance estimates
+	// unreliable, so every root degrades to "many".
+	unresolved int
+
+	// guarded marks instructions every path to which crosses a branch
+	// on a thread-distinguishing value (the spawn argument, the tid
+	// SPR, or an atomic's result). Code partitioned that way — the
+	// owner-computes idiom — is exempted from same-address conflicts.
+	guarded []bool
+
+	// preSpawn marks boot-thread instructions no path to which has
+	// executed a spawn: nothing else is running yet, so they cannot
+	// race. mustJoin marks boot-thread instructions every path to
+	// which has passed a SysJoin: the boot thread has (at least once)
+	// waited on a worker, which the model credits as ordering.
+	preSpawn, mustJoin []bool
+}
+
+// sysA0 resolves the block-local constant in a0 at a syscall, scanning
+// backwards through straight-line predecessors for the defining write,
+// exactly as the CFG's terminal-exit detection does.
+func (g *graph) sysA0(i int) (int32, bool) {
+	first := g.blocks[g.blkOf[i]].first
+	pc := g.insts[i].pc
+	for j := i - 1; j >= first; j-- {
+		if g.insts[j].pc != pc-4 {
+			return 0, false
+		}
+		pc -= 4
+		in := g.insts[j].in
+		_, defs := isa.RegEffects(in)
+		if defs.Has(isa.RArg0) {
+			if in.Op == isa.OpADDI && in.B == isa.RZero {
+				return in.Imm, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// spawnTarget resolves the block-local a1 value at a spawn syscall. Only
+// the strict lui+ori pair (the `la` expansion) counts, mirroring the
+// entry-point matching: a short-form li constant that happens to equal a
+// label address must not conjure a thread root.
+func (g *graph) spawnTarget(i int) (uint32, bool) {
+	first := g.blocks[g.blkOf[i]].first
+	pc := g.insts[i].pc
+	for j := i - 1; j >= first; j-- {
+		if g.insts[j].pc != pc-4 {
+			return 0, false
+		}
+		pc -= 4
+		in := g.insts[j].in
+		_, defs := isa.RegEffects(in)
+		if !defs.Has(isa.RArg1) {
+			continue
+		}
+		if in.Op != isa.OpORI || in.A != isa.RArg1 || in.B != isa.RArg1 || j == first {
+			return 0, false
+		}
+		prev := g.insts[j-1]
+		if prev.pc != pc-4 || prev.in.Op != isa.OpLUI || prev.in.A != isa.RArg1 {
+			return 0, false
+		}
+		v := uint32(prev.in.Imm)<<13 | uint32(in.Imm)&0x1fff
+		if _, ok := g.index[v]; !ok {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// spawnSites scans every syscall for the SysSpawn idiom.
+func (g *graph) spawnSites() []spawnSite {
+	var out []spawnSite
+	for i := range g.insts {
+		if g.insts[i].in.Op != isa.OpSYSCALL {
+			continue
+		}
+		no, ok := g.sysA0(i)
+		if !ok || no != isa.SysSpawn {
+			continue
+		}
+		s := spawnSite{inst: i}
+		s.target, s.hasTarget = g.spawnTarget(i)
+		s.looped = g.blockInCycle(g.blkOf[i])
+		out = append(out, s)
+	}
+	return out
+}
+
+// blockInCycle reports whether b can reach itself through CFG edges.
+func (g *graph) blockInCycle(b int) bool {
+	seen := make([]bool, len(g.blocks))
+	stack := []int{}
+	for _, e := range g.blocks[b].succs {
+		if !seen[e.to] {
+			seen[e.to] = true
+			stack = append(stack, e.to)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		for _, e := range g.blocks[x].succs {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return false
+}
+
+// reachFrom computes per-block reachability from one root block.
+func (g *graph) reachFrom(b int) []bool {
+	reach := make([]bool, len(g.blocks))
+	reach[b] = true
+	stack := []int{b}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.blocks[x].succs {
+			if !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return reach
+}
+
+// buildConc assembles the inter-thread model. A program with no spawn
+// sites still gets a model (one boot root) so the barrier pass can
+// check arrival/wait pairing on single-threaded programs.
+func buildConc(g *graph) *concModel {
+	m := &concModel{g: g}
+
+	sites := g.spawnSites()
+	boot := &troot{pc: g.p.Entry, blk: g.blkOf[g.index[g.p.Entry]]}
+	m.roots = append(m.roots, boot)
+	byPC := map[uint32]*troot{}
+	for _, s := range sites {
+		if !s.hasTarget {
+			m.unresolved++
+			continue
+		}
+		r := byPC[s.target]
+		if r == nil {
+			b := g.blkOf[g.index[s.target]]
+			r = &troot{pc: s.target, blk: b, spawned: true, spawnPC: g.insts[s.inst].pc}
+			byPC[s.target] = r
+			m.roots = append(m.roots, r)
+		}
+		if pc := g.insts[s.inst].pc; pc < r.spawnPC {
+			r.spawnPC = pc
+		}
+		r.sites++
+		if s.looped {
+			r.many = true
+		}
+	}
+	sort.Slice(m.roots[1:], func(i, j int) bool {
+		return m.roots[i+1].pc < m.roots[j+1].pc
+	})
+	for _, r := range m.roots {
+		if r.sites > 1 || m.unresolved > 0 {
+			r.many = r.spawned
+		}
+	}
+
+	consts, haveConsts := g.solveConsts()
+	for _, r := range m.roots {
+		r.reach = g.reachFrom(r.blk)
+		m.solvePhases(r)
+		m.collect(r, consts, haveConsts)
+	}
+	m.solveGuarded()
+	m.solveBootOrder(boot)
+	return m
+}
+
+// solvePhases runs the barrier-phase interval fixpoint over one root's
+// subgraph and projects the result down to instructions, arrival-count
+// exit intervals, and the arrival/wait site lists.
+func (m *concModel) solvePhases(r *troot) {
+	g := m.g
+	lo := make([]int32, len(g.blocks))
+	hi := make([]int32, len(g.blocks))
+	for b := range lo {
+		lo[b] = -1 // unvisited
+	}
+	lo[r.blk], hi[r.blk] = 0, 0
+	work := []int{r.blk}
+	inWork := make([]bool, len(g.blocks))
+	inWork[r.blk] = true
+	addPh := func(v, n int32) int32 {
+		if v >= phaseInf {
+			return phaseInf
+		}
+		if v += n; v > phaseCap {
+			return phaseInf
+		}
+		return v
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		var n int32
+		blk := &g.blocks[b]
+		for i := blk.first; i <= blk.last; i++ {
+			if isa.BarrierArrive(g.insts[i].in) {
+				n++
+			}
+		}
+		outLo, outHi := addPh(lo[b], n), addPh(hi[b], n)
+		for _, e := range blk.succs {
+			nl, nh := outLo, outHi
+			if lo[e.to] >= 0 {
+				if lo[e.to] < nl {
+					nl = lo[e.to]
+				}
+				if hi[e.to] > nh {
+					nh = hi[e.to]
+				}
+			}
+			if nl != lo[e.to] || nh != hi[e.to] {
+				lo[e.to], hi[e.to] = nl, nh
+				if !inWork[e.to] {
+					inWork[e.to] = true
+					work = append(work, e.to)
+				}
+			}
+		}
+	}
+
+	r.phLo = make([]int32, len(g.insts))
+	r.phHi = make([]int32, len(g.insts))
+	for i := range r.phLo {
+		r.phLo[i] = -1
+	}
+	for b := range g.blocks {
+		if !r.reach[b] || lo[b] < 0 {
+			continue
+		}
+		cl, ch := lo[b], hi[b]
+		blk := &g.blocks[b]
+		for i := blk.first; i <= blk.last; i++ {
+			r.phLo[i], r.phHi[i] = cl, ch
+			in := g.insts[i].in
+			if isa.BarrierArrive(in) {
+				r.arrives = append(r.arrives, i)
+				cl, ch = addPh(cl, 1), addPh(ch, 1)
+			}
+			if isa.BarrierWait(in) {
+				r.waits = append(r.waits, i)
+			}
+			exit := in.Op == isa.OpHALT ||
+				(in.Op == isa.OpSYSCALL && g.insts[i].exit) ||
+				(i == blk.last && len(blk.succs) == 0)
+			if exit {
+				if !r.hasExit {
+					r.exitLo, r.exitHi, r.hasExit = cl, ch, true
+				} else {
+					if cl < r.exitLo {
+						r.exitLo = cl
+					}
+					if ch > r.exitHi {
+						r.exitHi = ch
+					}
+				}
+			}
+		}
+	}
+}
+
+// accessShape returns the base register, offset and width of a memory
+// operation; atomics address through ra with no offset.
+func accessShape(in isa.Inst) (base uint8, off, size uint32) {
+	info := isa.Lookup(in.Op)
+	if info.Store || info.Atomic {
+		return storeShape(in)
+	}
+	switch in.Op { // loads: rd, imm(ra)
+	case isa.OpLB, isa.OpLBU:
+		return in.B, uint32(in.Imm), 1
+	case isa.OpLH, isa.OpLHU:
+		return in.B, uint32(in.Imm), 2
+	case isa.OpLD:
+		return in.B, uint32(in.Imm), 8
+	default:
+		return in.B, uint32(in.Imm), 4
+	}
+}
+
+// collect walks one root's reachable blocks with the global constant
+// states and records its memory accesses.
+func (m *concModel) collect(r *troot, consts []cstate, have []bool) {
+	g := m.g
+	for b := range g.blocks {
+		if !r.reach[b] {
+			continue
+		}
+		st := cstate{}
+		ok := have[b]
+		if ok {
+			st = consts[b]
+		}
+		blk := &g.blocks[b]
+		for i := blk.first; i <= blk.last; i++ {
+			in := g.insts[i].in
+			info := isa.Lookup(in.Op)
+			if info.Mem {
+				base, off, size := accessShape(in)
+				a := access{
+					inst:  i,
+					size:  size,
+					write: info.Store,
+					atom:  info.Atomic,
+					load:  !info.Store || info.Atomic,
+				}
+				if v, known := st.get(base); known && ok {
+					a.addr, a.known = v+off, true
+				}
+				r.acc = append(r.acc, a)
+			}
+			cstep(&st, in)
+		}
+	}
+}
+
+// solveGuarded computes the tid-taint and guardedness facts. Taint is a
+// forward may-analysis over registers holding thread-distinguishing
+// values; guardedness is a forward must-analysis marking blocks every
+// path to which crosses a branch on a tainted register. Both run over
+// the whole graph at once: a block shared between roots is guarded only
+// if every way of reaching it from any root is.
+func (m *concModel) solveGuarded() {
+	g := m.g
+	seedBlk := make([]isa.RegMask, len(g.blocks))
+	isRoot := make([]bool, len(g.blocks))
+	for _, r := range m.roots {
+		seedBlk[r.blk] |= isa.Bit(isa.RArg0)
+		isRoot[r.blk] = true
+	}
+
+	// Taint fixpoint (union meet).
+	tin := make([]isa.RegMask, len(g.blocks))
+	tout := make([]isa.RegMask, len(g.blocks))
+	step := func(t isa.RegMask, in isa.Inst) isa.RegMask {
+		uses, defs := isa.RegEffects(in)
+		info := isa.Lookup(in.Op)
+		switch {
+		case info.Atomic:
+			return t | defs // amoadd results differ per thread
+		case in.Op == isa.OpMFSPR:
+			if in.Imm == isa.SPRTid || in.Imm == isa.SPRQuad {
+				return t | defs
+			}
+			return t &^ defs
+		case info.Mem: // loads: memory contents are not tracked
+			return t &^ defs
+		default:
+			if uses&t != 0 {
+				return t | defs
+			}
+			return t &^ defs
+		}
+	}
+	transferTaint := func(b int) isa.RegMask {
+		t := tin[b]
+		for i := g.blocks[b].first; i <= g.blocks[b].last; i++ {
+			t = step(t, g.insts[i].in)
+		}
+		return t
+	}
+	for b := range g.blocks {
+		tin[b] = seedBlk[b]
+		tout[b] = transferTaint(b)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := range g.blocks {
+			acc := seedBlk[b]
+			for _, e := range g.preds[b] {
+				acc |= tout[e.to]
+			}
+			if acc != tin[b] {
+				tin[b] = acc
+				changed = true
+			}
+			if o := transferTaint(b); o != tout[b] {
+				tout[b] = o
+				changed = true
+			}
+		}
+	}
+
+	// taintedBranch: the block ends in a compare-and-branch on a
+	// tainted register, partitioning its successors by thread.
+	taintedBranch := make([]bool, len(g.blocks))
+	for b := range g.blocks {
+		last := g.insts[g.blocks[b].last].in
+		if isa.Lookup(last.Op).Format != isa.FmtB {
+			continue
+		}
+		t := tin[b]
+		for i := g.blocks[b].first; i < g.blocks[b].last; i++ {
+			t = step(t, g.insts[i].in)
+		}
+		if (isa.Bit(last.A)|isa.Bit(last.B))&t != 0 {
+			taintedBranch[b] = true
+		}
+	}
+
+	// Guardedness fixpoint (intersection meet, decreasing from true).
+	guard := make([]bool, len(g.blocks))
+	for b := range guard {
+		guard[b] = !isRoot[b]
+	}
+	changed = true
+	for changed {
+		changed = false
+		for b := range g.blocks {
+			if isRoot[b] || !guard[b] {
+				continue // root entries start a fresh, unguarded instance
+			}
+			v := len(g.preds[b]) > 0
+			for _, e := range g.preds[b] {
+				if !guard[e.to] && !taintedBranch[e.to] {
+					v = false
+					break
+				}
+			}
+			if v != guard[b] {
+				guard[b] = v
+				changed = true
+			}
+		}
+	}
+	m.guarded = make([]bool, len(g.insts))
+	for b := range g.blocks {
+		for i := g.blocks[b].first; i <= g.blocks[b].last; i++ {
+			m.guarded[i] = guard[b]
+		}
+	}
+}
+
+// solveBootOrder computes the boot thread's spawn/join ordering facts:
+// preSpawn (no path has spawned anything yet — nothing to race with)
+// and mustJoin (every path has joined at least one worker).
+func (m *concModel) solveBootOrder(boot *troot) {
+	g := m.g
+	m.preSpawn = make([]bool, len(g.insts))
+	m.mustJoin = make([]bool, len(g.insts))
+
+	isSys := func(i int, no int32) bool {
+		if g.insts[i].in.Op != isa.OpSYSCALL {
+			return false
+		}
+		v, ok := g.sysA0(i)
+		return ok && v == no
+	}
+	// maySpawn: union meet, increasing from false.
+	// mustJoin: intersection meet, decreasing from true.
+	maySp := make([]bool, len(g.blocks))  // at block entry
+	mustJn := make([]bool, len(g.blocks)) // at block entry
+	for b := range mustJn {
+		mustJn[b] = b != boot.blk && boot.reach[b]
+	}
+	outOf := func(in []bool, b int, no int32) bool {
+		v := in[b]
+		for i := g.blocks[b].first; i <= g.blocks[b].last; i++ {
+			if isSys(i, no) {
+				v = true
+			}
+		}
+		return v
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := range g.blocks {
+			if !boot.reach[b] || b == boot.blk {
+				continue
+			}
+			sp, jn := false, len(g.preds[b]) > 0
+			for _, e := range g.preds[b] {
+				if !boot.reach[e.to] {
+					continue
+				}
+				if outOf(maySp, e.to, isa.SysSpawn) {
+					sp = true
+				}
+				if !outOf(mustJn, e.to, isa.SysJoin) {
+					jn = false
+				}
+			}
+			if sp != maySp[b] {
+				maySp[b] = sp
+				changed = true
+			}
+			if jn != mustJn[b] {
+				mustJn[b] = jn
+				changed = true
+			}
+		}
+	}
+	for b := range g.blocks {
+		if !boot.reach[b] {
+			continue
+		}
+		sp, jn := maySp[b], mustJn[b]
+		for i := g.blocks[b].first; i <= g.blocks[b].last; i++ {
+			m.preSpawn[i] = !sp
+			m.mustJoin[i] = jn
+			if isSys(i, isa.SysSpawn) {
+				sp = true
+			}
+			if isSys(i, isa.SysJoin) {
+				jn = true
+			}
+		}
+	}
+}
+
+// concurrent reports whether instances of roots a and b can run at the
+// same time: distinct roots always can once anything is spawned, and a
+// root races with itself only when more than one instance may exist.
+func (m *concModel) concurrent(a, b *troot) bool {
+	if len(m.roots) == 1 && !m.roots[0].many {
+		return false
+	}
+	if a == b {
+		return a.many
+	}
+	return true
+}
+
+// phasesOverlap reports whether instruction x (under root a) and y
+// (under root b) can execute in the same barrier phase: the static
+// happens-before says accesses separated by a barrier everyone passes
+// cannot be concurrent.
+func phasesOverlap(a *troot, x int, b *troot, y int) bool {
+	if a.phLo[x] < 0 || b.phLo[y] < 0 {
+		return false // a root never reaches the instruction
+	}
+	return a.phLo[x] <= b.phHi[y] && b.phLo[y] <= a.phHi[x]
+}
+
+// phaseRange renders an arrival-count interval for diagnostics.
+func phaseRange(lo, hi int32) string {
+	if hi >= phaseInf {
+		if lo == 0 {
+			return "0 or more"
+		}
+		return fmt.Sprintf("%d or more", lo)
+	}
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}

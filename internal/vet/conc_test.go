@@ -1,0 +1,148 @@
+package vet_test
+
+import (
+	"strings"
+	"testing"
+
+	"cyclops/internal/asm"
+	"cyclops/internal/vet"
+)
+
+func checkPasses(t *testing.T, src string, only []string) []vet.Diagnostic {
+	t.Helper()
+	p, err := asm.AssembleNamed("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return vet.CheckPasses(p, only)
+}
+
+// CheckPasses restricts which passes emit: an uninit bug is invisible
+// to a concurrency-only run and Check equals the nil subset.
+func TestCheckPassesSubset(t *testing.T) {
+	src := positives["uninit"].src
+	if diags := checkPasses(t, src, []string{"race", "barrier", "deadlock"}); len(diags) != 0 {
+		t.Errorf("conc-only run emitted:\n%s", vet.Render(diags))
+	}
+	diags := checkPasses(t, src, []string{"uninit"})
+	if len(diags) != 1 || diags[0].Pass != "uninit" {
+		t.Errorf("uninit-only run = %v", diags)
+	}
+	if got, want := vet.Render(checkPasses(t, src, nil)), vet.Render(checkSrc(t, src)); got != want {
+		t.Errorf("CheckPasses(nil) diverges from Check:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// fppair's flawed-register result feeds uninit; selecting uninit alone
+// must still suppress the fppair findings while keeping uninit's.
+func TestCheckPassesUninitWithoutFPPair(t *testing.T) {
+	src := positives["fppair"].src
+	if diags := checkPasses(t, src, []string{"uninit"}); len(diags) != 0 {
+		for _, d := range diags {
+			if d.Pass != "uninit" {
+				t.Errorf("stray %q diagnostic: %s", d.Pass, d)
+			}
+		}
+	}
+}
+
+// A worker that runs a data-dependent number of barrier episodes has an
+// unbounded phase interval; it must overlap any fixed count the boot
+// thread runs, so no phase-mismatch error may fire.
+func TestPhaseIntervalSaturates(t *testing.T) {
+	src := `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 5
+	syscall
+	li   r8, 1
+	mtspr r8, 4
+s1:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s1
+	mtspr r8, 4
+s2:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s2
+	li   a0, 0
+	syscall
+worker:	li   r18, 1
+loop:	mtspr r18, 4
+w1:	mfspr r19, 4
+	and  r19, r19, r18
+	bne  r19, r0, w1
+	addi a0, a0, -1
+	bne  a0, r0, loop
+	li   a0, 0
+	syscall
+`
+	if diags := checkPasses(t, src, nil); len(diags) != 0 {
+		t.Errorf("unbounded-episode program produced diagnostics:\n%s", vet.Render(diags))
+	}
+}
+
+// Stores on opposite arms of a branch over a thread-distinguishing
+// value (the tid SPR, the spawn argument) are the owner-computes idiom:
+// the race pass must not pair them.
+func TestGuardedAccessesExempt(t *testing.T) {
+	src := `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 1
+	syscall
+	mfspr r8, 0
+	bne  r8, r0, bskip
+	la   r9, word0
+	li   r10, 1
+	sw   r10, 0(r9)
+bskip:	li   a0, 0
+	syscall
+worker:	bne  a0, r0, wskip
+	la   r9, word0
+	li   r10, 2
+	sw   r10, 0(r9)
+wskip:	li   a0, 0
+	syscall
+	.align 8
+word0:	.word 0
+`
+	if diags := checkPasses(t, src, nil); len(diags) != 0 {
+		t.Errorf("tid-partitioned program produced diagnostics:\n%s", vet.Render(diags))
+	}
+}
+
+// The boot thread reading results after joining its worker is ordered
+// by the join; deleting the join revives the conflict as a warning.
+func TestMustJoinOrdersBootReads(t *testing.T) {
+	src := `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	li   a0, 4
+	syscall
+	la   r8, total
+	lw   r9, 0(r8)
+	li   a0, 0
+	syscall
+worker:	la   r10, total
+	li   r11, 1
+	amoadd r11, (r10), r11
+	li   a0, 0
+	syscall
+	.align 8
+total:	.word 0
+`
+	if diags := checkPasses(t, src, nil); len(diags) != 0 {
+		t.Errorf("join-ordered program produced diagnostics:\n%s", vet.Render(diags))
+	}
+
+	noJoin := strings.Replace(src, "\tli   a0, 4\n\tsyscall\n", "", 1)
+	if noJoin == src {
+		t.Fatal("join removal did not apply")
+	}
+	diags := checkPasses(t, noJoin, nil)
+	if len(diags) != 1 || diags[0].Pass != "race" || diags[0].Sev != vet.Warn {
+		t.Errorf("joinless variant = %v, want one race warning", diags)
+	}
+}

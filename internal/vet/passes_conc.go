@@ -1,0 +1,400 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"cyclops/internal/isa"
+)
+
+// The concurrency passes: queries over the inter-thread model in
+// conc.go. All three share one model build per Check.
+
+// Pass race: may-overlap conflicts between accesses that can execute in
+// the same barrier phase of concurrently-running threads. The machine
+// has no coherent data caches (Section 2.3), so a race is not just
+// nondeterminism — there is no hardware that ever makes it right. Two
+// plain writes are an error; a conflict involving a read or an atomic
+// is a warning, because the model cannot see whether the read's value
+// matters or the atomic's ordering is the intended protocol.
+func passRace(m *concModel, diags *[]Diagnostic) {
+	g := m.g
+	boot := m.roots[0]
+	exempt := func(r *troot, a access) bool {
+		if r == boot {
+			if m.preSpawn[a.inst] {
+				return true // nothing else is running yet
+			}
+		}
+		return false
+	}
+	for ai, ra := range m.roots {
+		for bi := ai; bi < len(m.roots); bi++ {
+			rb := m.roots[bi]
+			if !m.concurrent(ra, rb) {
+				continue
+			}
+			for xi, x := range ra.acc {
+				for yi, y := range rb.acc {
+					if ra == rb && yi < xi {
+						continue // unordered self-pairs once
+					}
+					if !x.known || !y.known {
+						continue
+					}
+					if !(x.write || y.write) || (x.atom && y.atom) {
+						continue
+					}
+					if x.addr+x.size <= y.addr || y.addr+y.size <= x.addr {
+						continue // disjoint ranges
+					}
+					if m.guarded[x.inst] && m.guarded[y.inst] {
+						continue // owner-computes partitioning
+					}
+					if exempt(ra, x) || exempt(rb, y) {
+						continue
+					}
+					// The boot thread joining workers orders it after
+					// their writes; credit that on boot-vs-spawned
+					// pairs.
+					if ra == boot && rb.spawned && m.mustJoin[x.inst] {
+						continue
+					}
+					if rb == boot && ra.spawned && m.mustJoin[y.inst] {
+						continue
+					}
+					if !phasesOverlap(ra, x.inst, rb, y.inst) {
+						continue // a barrier separates them
+					}
+					sev := Warn
+					if x.write && y.write && !x.atom && !y.atom {
+						sev = Error
+					}
+					// Anchor on the (first) write.
+					at, other, rAt, rOther := x, y, ra, rb
+					if (!x.write && y.write) ||
+						(x.write == y.write && g.insts[y.inst].pc < g.insts[x.inst].pc) {
+						at, other, rAt, rOther = y, x, rb, ra
+					}
+					*diags = append(*diags, Diagnostic{
+						Pass: "race", Sev: sev, PC: g.insts[at.inst].pc,
+						Msg: fmt.Sprintf("possible data race on %s: %s in %s conflicts with %s at pc %#x in %s",
+							g.describeAddr(at.addr),
+							isa.Lookup(g.insts[at.inst].in.Op).Name, rAt.name(g),
+							isa.Lookup(g.insts[other.inst].in.Op).Name, g.insts[other.inst].pc,
+							rOther.name(g)),
+					})
+				}
+			}
+		}
+	}
+}
+
+// Pass barrier: structural misuse of the wired-OR barrier. An arrival
+// never followed by a spin read is a warning (a release-only arrival
+// just before exit is legitimate — the kernel withdraws an exiting
+// thread's contribution); a spin read reachable with no prior arrival
+// on any path is an error (the thread waits on a barrier it never
+// joined); concurrent threads whose every path executes a provably
+// different number of arrivals is an error (the phases can never line
+// up, so some thread's last barrier hangs).
+func passBarrier(m *concModel, diags *[]Diagnostic) {
+	g := m.g
+
+	// rootOf names the first root (in deterministic root order) that
+	// reaches an instruction, for thread context.
+	rootOf := func(i int) *troot {
+		for _, r := range m.roots {
+			if r.phLo[i] >= 0 {
+				return r
+			}
+		}
+		return m.roots[0]
+	}
+
+	for _, i := range m.arriveInsts() {
+		if !g.barrierReadFollows(i) {
+			*diags = append(*diags, Diagnostic{
+				Pass: "barrier", Sev: Warn, PC: g.insts[i].pc,
+				Msg: fmt.Sprintf("barrier arrival (mtspr 4) in %s is never followed by a barrier read (mfspr 4) on any path",
+					rootOf(i).name(g)),
+			})
+		}
+	}
+
+	for _, i := range m.waitInsts() {
+		good, bad := m.arrivalPrecedes(i)
+		if !bad {
+			continue
+		}
+		sev, what := Error, "every path"
+		if good {
+			sev, what = Warn, "some path"
+		}
+		*diags = append(*diags, Diagnostic{
+			Pass: "barrier", Sev: sev, PC: g.insts[i].pc,
+			Msg: fmt.Sprintf("barrier read (mfspr 4) in %s is reachable with no prior arrival (mtspr 4) on %s",
+				rootOf(i).name(g), what),
+		})
+	}
+
+	// The mismatch check compares arrival counts over whole runs, so a
+	// root qualifies only if every arrival it makes is a shared one —
+	// a boot thread that also uses the barrier alone before spawning
+	// has exit counts the comparison cannot attribute.
+	eligible := func(r *troot) bool {
+		return r.hasExit && len(r.arrives) > 0 &&
+			len(m.sharedArrives(r)) == len(r.arrives)
+	}
+	for ai, ra := range m.roots {
+		for _, rb := range m.roots[ai+1:] {
+			if !m.concurrent(ra, rb) || !eligible(ra) || !eligible(rb) {
+				continue
+			}
+			if ra.exitHi < rb.exitLo || rb.exitHi < ra.exitLo {
+				at := ra
+				if rb.exitHi < ra.exitLo {
+					at = rb
+				}
+				*diags = append(*diags, Diagnostic{
+					Pass: "barrier", Sev: Error, PC: g.insts[at.arrives[0]].pc,
+					Msg: fmt.Sprintf("barrier phase mismatch: %s arrives %s times per run but %s arrives %s times",
+						ra.name(g), phaseRange(ra.exitLo, ra.exitHi),
+						rb.name(g), phaseRange(rb.exitLo, rb.exitHi)),
+				})
+			}
+		}
+	}
+}
+
+// Pass deadlock: synchronization a thread can wait on forever. A
+// barrier used by one thread but never reached by a concurrent thread
+// is a warning (the peer may deliberately exit instead, which withdraws
+// its contribution); a value-dependent spin loop reading an address no
+// thread ever writes and no DMA fills is an error — nothing in the
+// machine can change the value being spun on.
+func passDeadlock(m *concModel, diags *[]Diagnostic) {
+	g := m.g
+	for _, ra := range m.roots {
+		sa := m.sharedArrives(ra)
+		if len(sa) == 0 {
+			continue
+		}
+		for _, rb := range m.roots {
+			if ra == rb || !m.concurrent(ra, rb) || len(rb.arrives) > 0 {
+				continue
+			}
+			*diags = append(*diags, Diagnostic{
+				Pass: "deadlock", Sev: Warn, PC: g.insts[sa[0]].pc,
+				Msg: fmt.Sprintf("barrier used by %s is never reached by %s; the barrier cannot fire unless that thread exits",
+					ra.name(g), rb.name(g)),
+			})
+		}
+	}
+	m.checkSpins(diags)
+}
+
+// arriveInsts and waitInsts return the deduplicated, sorted instruction
+// indexes of barrier arrivals/waits reachable from any root.
+func (m *concModel) arriveInsts() []int {
+	return dedupInsts(m.roots, func(r *troot) []int { return r.arrives })
+}
+func (m *concModel) waitInsts() []int {
+	return dedupInsts(m.roots, func(r *troot) []int { return r.waits })
+}
+
+// sharedArrives returns r's arrivals that can synchronize with a peer:
+// for the boot thread, an arrival no path to which has spawned anything
+// is a barrier among one thread — it fires immediately and cannot be
+// held up by, or hold up, anyone else.
+func (m *concModel) sharedArrives(r *troot) []int {
+	if r != m.roots[0] {
+		return r.arrives
+	}
+	var out []int
+	for _, i := range r.arrives {
+		if !m.preSpawn[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func dedupInsts(roots []*troot, f func(*troot) []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range roots {
+		for _, i := range f(r) {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// arrivalPrecedes classifies the backward paths from a barrier read:
+// good means some path crosses an arrival first, bad means some path
+// reaches a thread root without one. Another barrier read terminates a
+// path neutrally — that read is checked on its own.
+func (m *concModel) arrivalPrecedes(i int) (good, bad bool) {
+	g := m.g
+	isRootBlk := func(b int) bool {
+		for _, r := range m.roots {
+			if r.blk == b {
+				return true
+			}
+		}
+		return false
+	}
+	// scan walks backwards within block b from index j; returns true if
+	// the walk fell off the top of the block (path continues to preds).
+	scan := func(b, j int) bool {
+		for ; j >= g.blocks[b].first; j-- {
+			in := g.insts[j].in
+			if isa.BarrierArrive(in) {
+				good = true
+				return false
+			}
+			if isa.BarrierWait(in) {
+				return false // neutral: checked at that site
+			}
+		}
+		return true
+	}
+	if !scan(g.blkOf[i], i-1) {
+		return good, bad
+	}
+	visited := map[int]bool{g.blkOf[i]: true}
+	work := []int{}
+	expand := func(b int) {
+		if len(g.preds[b]) == 0 || isRootBlk(b) {
+			bad = true
+		}
+		for _, e := range g.preds[b] {
+			if !visited[e.to] {
+				visited[e.to] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	expand(g.blkOf[i])
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if scan(b, g.blocks[b].last) {
+			expand(b)
+		}
+	}
+	return good, bad
+}
+
+// checkSpins finds value-dependent spin loops with no matching release:
+// a load in a CFG cycle whose exit branches depend on the loaded value,
+// where no instruction anywhere stores to an overlapping address, no
+// store has an unprovable address, and no syscall can DMA into memory.
+func (m *concModel) checkSpins(diags *[]Diagnostic) {
+	g := m.g
+	if len(m.roots) < 2 {
+		return // single-threaded wait loops are out of scope
+	}
+
+	// Global suppressors: any write the model cannot place, or any
+	// syscall that may write memory (off-chip DMA, or an unresolvable
+	// call number), may be the release.
+	mayWrite := func(addr, size uint32) bool {
+		for _, r := range m.roots {
+			for _, a := range r.acc {
+				if !a.write {
+					continue
+				}
+				if !a.known {
+					return true
+				}
+				if a.addr < addr+size && addr < a.addr+a.size {
+					return true
+				}
+			}
+		}
+		for i := range g.insts {
+			if g.insts[i].in.Op != isa.OpSYSCALL {
+				continue
+			}
+			no, ok := g.sysA0(i)
+			if !ok || no == isa.SysOffChipRead {
+				return true
+			}
+		}
+		return false
+	}
+
+	reach := make([][]bool, len(g.blocks))
+	reachOf := func(b int) []bool {
+		if reach[b] == nil {
+			reach[b] = g.reachFrom(b)
+		}
+		return reach[b]
+	}
+
+	seen := map[int]bool{} // loads already reported
+	for _, r := range m.roots {
+		for _, a := range r.acc {
+			if !a.load || a.write || !a.known || seen[a.inst] {
+				continue
+			}
+			lb := g.blkOf[a.inst]
+			if !g.blockInCycle(lb) {
+				continue
+			}
+			// The loop: blocks on a cycle through the load's block.
+			inLoop := func(b int) bool {
+				return reachOf(lb)[b] && reachOf(b)[lb]
+			}
+			// Registers derived from the loaded value, closed over the
+			// loop body.
+			_, derived := isa.RegEffects(g.insts[a.inst].in)
+			for changed := true; changed; {
+				changed = false
+				for b := range g.blocks {
+					if !inLoop(b) {
+						continue
+					}
+					for i := g.blocks[b].first; i <= g.blocks[b].last; i++ {
+						in := g.insts[i].in
+						if i == a.inst || isa.Lookup(in.Op).Mem {
+							continue
+						}
+						uses, defs := isa.RegEffects(in)
+						if uses&derived != 0 && derived|defs != derived {
+							derived |= defs
+							changed = true
+						}
+					}
+				}
+			}
+			// A loop branch on a derived value makes it a spin-wait.
+			spin := false
+			for b := range g.blocks {
+				if !inLoop(b) {
+					continue
+				}
+				last := g.insts[g.blocks[b].last].in
+				if isa.Lookup(last.Op).Format == isa.FmtB &&
+					(isa.Bit(last.A)|isa.Bit(last.B))&derived != 0 {
+					spin = true
+				}
+			}
+			if !spin || mayWrite(a.addr, a.size) {
+				continue
+			}
+			seen[a.inst] = true
+			*diags = append(*diags, Diagnostic{
+				Pass: "deadlock", Sev: Error, PC: g.insts[a.inst].pc,
+				Msg: fmt.Sprintf("spin loop in %s reads %s, which no thread ever writes and no DMA fills; the wait can never be released",
+					r.name(g), g.describeAddr(a.addr)),
+			})
+		}
+	}
+}

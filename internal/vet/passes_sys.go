@@ -8,12 +8,9 @@ import (
 
 // Pass spr: the SPR protocol the simulator enforces at run time (exec
 // traps on bad SPR numbers), checked statically. Writes to read-only or
-// undefined SPRs and reads of undefined SPRs are errors. A barrier
-// arrival (mtspr to SPR 4) that no path ever follows with a barrier read
-// is a warning: the wired-OR barrier of Section 2 completes only when
-// every thread both signals and observes the all-arrived state, so an
-// arrival without a spin is almost always a dropped synchronization —
-// but a release-only arrival just before thread exit is legitimate.
+// undefined SPRs and reads of undefined SPRs are errors. Barrier
+// arrival/wait pairing moved to the barrier pass, which checks it per
+// thread root against the inter-thread model.
 func passSPR(g *graph, diags *[]Diagnostic) {
 	for i := range g.insts {
 		in := g.insts[i].in
@@ -21,12 +18,7 @@ func passSPR(g *graph, diags *[]Diagnostic) {
 		case isa.OpMTSPR:
 			switch {
 			case in.Imm == isa.SPRBarrier:
-				if !g.barrierReadFollows(i) {
-					*diags = append(*diags, Diagnostic{
-						Pass: "spr", Sev: Warn, PC: g.insts[i].pc,
-						Msg: "barrier arrival (mtspr 4) is never followed by a barrier read (mfspr 4) on any path",
-					})
-				}
+				// Writable; pairing is the barrier pass's job.
 			case isa.ReadOnlySPR(in.Imm):
 				*diags = append(*diags, Diagnostic{
 					Pass: "spr", Sev: Error, PC: g.insts[i].pc,

@@ -8,16 +8,27 @@
 // code/data split, so only real instructions are decoded — and runs a
 // fixed pass pipeline over it:
 //
-//	uninit  use-before-def register dataflow (forward, per-block
-//	        gen/kill with a fixpoint over the CFG, seeded by the
-//	        kernel's entry ABI)
-//	flow    unreachable code and fallthrough off the end of .text
-//	fppair  FP paired-register discipline (odd pair bases)
-//	spr     barrier/SPR protocol (writes to read-only SPRs, barrier
-//	        arrivals never followed by a spin read)
-//	smc     stores whose address is provably inside .text
-//	branch  branch targets outside the image or into the middle of a
-//	        pseudo-instruction expansion
+//	uninit    use-before-def register dataflow (forward, per-block
+//	          gen/kill with a fixpoint over the CFG, seeded by the
+//	          kernel's entry ABI)
+//	flow      unreachable code and fallthrough off the end of .text
+//	fppair    FP paired-register discipline (odd pair bases)
+//	spr       SPR protocol (writes to read-only or undefined SPRs,
+//	          reads of undefined SPRs)
+//	smc       stores whose address is provably inside .text
+//	branch    branch targets outside the image or into the middle of a
+//	          pseudo-instruction expansion
+//	race      may-overlap memory conflicts between threads in the same
+//	          barrier phase that are not both atomics
+//	barrier   arrival/wait pairing and cross-thread phase-count
+//	          mismatches on the wired-OR barrier
+//	deadlock  barriers never reached by a concurrent thread, and spin
+//	          loops on addresses nothing ever writes
+//
+// The last three share an inter-thread model (conc.go): a spawn graph
+// partitioning code into thread roots, a barrier-phase lattice giving a
+// static happens-before relation, and per-root shared-address summaries
+// from constant propagation.
 //
 // Diagnostics are deterministic: sorted by PC, then pass, then message,
 // so golden-file tests can pin exact output.
@@ -91,22 +102,84 @@ var Passes = []PassInfo{
 	{"uninit", "use of a register no path has defined"},
 	{"flow", "unreachable code and fallthrough off the end of .text"},
 	{"fppair", "FP paired-register discipline (odd pair bases)"},
-	{"spr", "SPR/barrier protocol (read-only SPRs, arrival without spin)"},
+	{"spr", "SPR protocol (read-only and undefined SPRs)"},
 	{"smc", "stores whose address is provably inside .text"},
 	{"branch", "branch targets outside code or into a pseudo expansion"},
+	{"race", "may-overlap memory conflicts between threads in the same barrier phase"},
+	{"barrier", "barrier arrival/wait pairing and cross-thread phase-count mismatches"},
+	{"deadlock", "barriers no concurrent thread reaches, and spins nothing releases"},
+}
+
+// KnownPass reports whether id names a registered pass.
+func KnownPass(id string) bool {
+	for _, p := range Passes {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Check analyzes an assembled program and returns its diagnostics in
-// deterministic order.
+// deterministic order, running every registered pass.
 func Check(p *asm.Program) []Diagnostic {
+	return CheckPasses(p, nil)
+}
+
+// CheckPasses runs a subset of the pipeline: only passes whose id is in
+// `only` emit diagnostics (nil means all). Unknown ids are ignored;
+// validate against Passes/KnownPass first when ids come from a user.
+func CheckPasses(p *asm.Program, only []string) []Diagnostic {
+	on := func(id string) bool {
+		if only == nil {
+			return true
+		}
+		for _, o := range only {
+			if o == id {
+				return true
+			}
+		}
+		return false
+	}
 	g, diags := buildCFG(p)
+	if !on("flow") {
+		// CFG construction itself only emits flow diagnostics.
+		diags = diags[:0]
+	}
 	if g != nil {
-		flawed := passFPPair(g, &diags)
-		passUninit(g, flawed, &diags)
-		passFlow(g, &diags)
-		passBranch(g, &diags)
-		passSPR(g, &diags)
-		passSMC(g, &diags)
+		if on("fppair") || on("uninit") {
+			flawed := passFPPair(g, &diags)
+			if !on("fppair") {
+				diags = filterPass(diags, "fppair")
+			}
+			if on("uninit") {
+				passUninit(g, flawed, &diags)
+			}
+		}
+		if on("flow") {
+			passFlow(g, &diags)
+		}
+		if on("branch") {
+			passBranch(g, &diags)
+		}
+		if on("spr") {
+			passSPR(g, &diags)
+		}
+		if on("smc") {
+			passSMC(g, &diags)
+		}
+		if on("race") || on("barrier") || on("deadlock") {
+			m := buildConc(g)
+			if on("race") {
+				passRace(m, &diags)
+			}
+			if on("barrier") {
+				passBarrier(m, &diags)
+			}
+			if on("deadlock") {
+				passDeadlock(m, &diags)
+			}
+		}
 	}
 	for i := range diags {
 		diags[i].File = p.SourceFile()
@@ -128,6 +201,17 @@ func Check(p *asm.Program) []Diagnostic {
 	out := diags[:0]
 	for i, d := range diags {
 		if i == 0 || d != diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// filterPass drops diagnostics emitted by pass id, in place.
+func filterPass(diags []Diagnostic, id string) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Pass != id {
 			out = append(out, d)
 		}
 	}

@@ -55,10 +55,10 @@ _start:	fsub d34, d34, d34
 		src: `
 _start:	li    r8, 1
 	mtspr r8, 0
-	mtspr r8, 4
+	mfspr r9, 7
 	halt
 `,
-		want: []string{"read-only SPR 0 (tid)", "never followed by a barrier read"},
+		want: []string{"read-only SPR 0 (tid)", "undefined SPR 7"},
 	},
 	"smc": {
 		src: `
@@ -76,6 +76,77 @@ _start:	la   r8, num
 num:	.word 42
 `,
 		want: []string{"inside a pseudo-instruction expansion"},
+	},
+	"race": {
+		src: `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	la   r8, flag
+	li   r9, 1
+	sw   r9, 0(r8)
+	li   a0, 0
+	syscall
+worker:	la   r10, flag
+	li   r11, 2
+	sw   r11, 0(r10)
+	li   a0, 0
+	syscall
+	.align 8
+flag:	.word 0
+`,
+		want: []string{"possible data race on flag", "the boot thread (_start)", "thread worker (spawned at test.s:5)"},
+	},
+	"barrier": {
+		src: `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	li   r8, 1
+	mtspr r8, 4
+s1:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s1
+	mtspr r8, 4
+s2:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s2
+	li   a0, 0
+	syscall
+worker:	li   r18, 1
+	mtspr r18, 4
+w1:	mfspr r19, 4
+	and  r19, r19, r18
+	bne  r19, r0, w1
+	li   a0, 0
+	syscall
+`,
+		want: []string{"barrier phase mismatch", "arrives 2 times per run", "arrives 1 times"},
+	},
+	"deadlock": {
+		src: `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	li   r8, 1
+	mtspr r8, 4
+s1:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s1
+	li   a0, 0
+	syscall
+worker:	la   r20, flag
+wspin:	lw   r21, 0(r20)
+	beq  r21, r0, wspin
+	li   a0, 0
+	syscall
+	.align 8
+flag:	.word 0
+`,
+		want: []string{"never reached by thread worker", "spin loop in thread worker", "no thread ever writes"},
 	},
 }
 
@@ -147,6 +218,67 @@ _start:	la   r8, buf
 	b    next
 next:	halt
 buf:	.word 0
+`,
+	// The race positive with both plain stores replaced by in-memory
+	// atomics: the paper's intended idiom for unordered shared updates.
+	"race": `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	la   r8, flag
+	li   r9, 1
+	amoadd r9, (r8), r9
+	li   a0, 0
+	syscall
+worker:	la   r10, flag
+	li   r11, 2
+	amoadd r11, (r10), r11
+	li   a0, 0
+	syscall
+	.align 8
+flag:	.word 0
+`,
+	// Both threads run one complete arrive+spin episode: counts match.
+	"barrier": `
+_start:	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	li   r8, 1
+	mtspr r8, 4
+s1:	mfspr r9, 4
+	and  r9, r9, r8
+	bne  r9, r0, s1
+	li   a0, 0
+	syscall
+worker:	li   r18, 1
+	mtspr r18, 4
+w1:	mfspr r19, 4
+	and  r19, r19, r18
+	bne  r19, r0, w1
+	li   a0, 0
+	syscall
+`,
+	// The spin has a release: the flag is stored before the worker is
+	// spawned, so the wait terminates (and pre-spawn writes don't race).
+	"deadlock": `
+_start:	la   r8, flag
+	li   r9, 1
+	sw   r9, 0(r8)
+	li   a0, 3
+	la   a1, worker
+	li   a2, 0
+	syscall
+	li   a0, 0
+	syscall
+worker:	la   r20, flag
+wspin:	lw   r21, 0(r20)
+	beq  r21, r0, wspin
+	li   a0, 0
+	syscall
+	.align 8
+flag:	.word 0
 `,
 }
 
